@@ -1,0 +1,67 @@
+// §5.2 case studies — mil.ru and RZD railways through the reactive
+// measurement platform (§4.3.1).
+#include <iostream>
+
+#include "scenario/russia.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace ddos;
+
+int main() {
+  std::cout << util::banner("Case study: attacks on Russian assets (§5.2)")
+            << "\n";
+  std::cout << "paper: mil.ru unresolvable Mar 12-16 via OpenINTEL, all 3 "
+               "nameservers (same /24, one ASN) unresponsive to reactive "
+               "probes; RZD attacked Mar 8 15:30-20:45, intermittently "
+               "responsive from ~06:00 next day\n\n";
+  const scenario::RussiaResult r = scenario::run_russia(scenario::RussiaParams{});
+
+  util::TextTable milru({"mil.ru metric", "Paper", "Measured"});
+  milru.add_row({"attack interval", "Mar 11 - Mar 18 (8 days)",
+                 r.milru.attack_start.to_string() + " .. " +
+                     r.milru.attack_end.to_string()});
+  milru.add_row({"nameserver /24s", "1 (same subnet)",
+                 std::to_string(r.milru_distinct_slash24)});
+  milru.add_row({"OpenINTEL failure days", "Mar 12-16 inclusive",
+                 r.milru.geofence_start.to_string().substr(0, 10) + " .. " +
+                     (r.milru.geofence_end - 1).to_string().substr(0, 10)});
+  milru.add_row({"reactive: attack windows probed", "-",
+                 util::with_commas(r.milru.attack_windows_probed)});
+  milru.add_row({"reactive: fully unresolvable", "most of the attack",
+                 util::format_fixed(100 * r.milru.unresolvable_share(), 1) +
+                     "%"});
+  milru.add_row({"no NS responsive during geofence", "yes",
+                 r.milru.no_ns_responsive_during_geofence ? "yes" : "no"});
+  std::cout << milru.to_string() << "\n";
+
+  std::cout << "OpenINTEL daily success for mil.ru:\n";
+  for (const auto& day : r.milru.openintel_daily) {
+    int y = 0, m = 0, d = 0;
+    netsim::day_to_ymd(day.day, y, m, d);
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+    std::cout << "  " << buf << "  "
+              << util::format_fixed(100 * day.success_share, 0) << "%\t"
+              << util::ascii_bar(day.success_share, 40) << "\n";
+  }
+
+  util::TextTable rdz({"RZD metric", "Paper", "Measured"});
+  rdz.add_row({"attack interval", "Mar 8, 15:30-20:45",
+               r.rdz.attack_start.to_string() + " .. " +
+                   r.rdz.attack_end.to_string()});
+  rdz.add_row({"nameserver /24s", "2", std::to_string(r.rdz_distinct_slash24)});
+  rdz.add_row({"resolution during attack", "unresolvable",
+               util::format_fixed(100 * r.rdz.during_attack_resolution_rate,
+                                  1) +
+                   "%"});
+  rdz.add_row({"recovery observed", "~06:00 next day",
+               r.rdz.recovered() ? r.rdz.recovery_time.to_string()
+                                 : "not observed"});
+  std::cout << "\n" << rdz.to_string();
+  std::cout << "\nshape check: the same-/24 single-ASN unicast deployment "
+               "(mil.ru) fails totally under geofence + saturation; prefix "
+               "diversity alone (RZD, 2 /24s) did not withstand an all-"
+               "nameserver attack — §5.2.3's conclusion.\n";
+  return 0;
+}

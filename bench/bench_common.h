@@ -1,0 +1,46 @@
+// Shared runner for the reproduction benches. Each bench binary replays
+// the seventeen-month longitudinal pipeline at the default bench scale and
+// prints its table or figure with the paper's values alongside the
+// measured ones. Absolute numbers differ (our substrate is a calibrated
+// simulator and the population is scaled); the *shapes* — who wins, by
+// what factor, where the thresholds sit — are the reproduction target.
+#pragma once
+
+#include <iostream>
+
+#include "scenario/driver.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace ddos::bench {
+
+inline scenario::LongitudinalConfig bench_config() {
+  scenario::LongitudinalConfig cfg = scenario::default_longitudinal_config();
+  cfg.workload.scale = 30.0;  // ~135K attacks, ~1.6K on DNS infrastructure
+  return cfg;
+}
+
+/// Run (or reuse) the longitudinal pipeline for this process.
+inline const scenario::LongitudinalResult& longitudinal() {
+  static const scenario::LongitudinalResult result =
+      scenario::run_longitudinal(bench_config());
+  return result;
+}
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::cout << util::banner(title) << "\n";
+  std::cout << "paper reference: " << paper << "\n";
+  const auto& r = longitudinal();
+  std::cout << "run: scale 1/" << bench_config().workload.scale << " of "
+            << "the paper's attack counts, "
+            << r.world->registry.domain_count() << " domains, "
+            << r.workload.schedule.size() << " attacks, " << r.events.size()
+            << " telescope events, " << r.joined.size()
+            << " joined NSSet-attack events\n\n";
+}
+
+inline std::string pct(double fraction, int precision = 1) {
+  return util::format_fixed(100.0 * fraction, precision) + "%";
+}
+
+}  // namespace ddos::bench

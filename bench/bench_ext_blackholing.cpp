@@ -1,0 +1,140 @@
+// Extension bench — blackholing (RTBH) as a mitigation, and what it does
+// to both the victims and the telescope's view.
+//
+// Jonker et al. (IMC 2018, cited in the paper's introduction) studied DoS
+// attacks jointly with BGP blackholing. This bench runs one monster flood
+// against a small provider with and without an RTBH policy and reports:
+// the victim-side availability timeline, the telescope-inferred duration
+// (truncated by the null-route — §6.5's backscatter-silencing effect),
+// and the availability trade-off the mitigation makes.
+#include <iostream>
+
+#include "attack/mitigation.h"
+#include "dns/registry.h"
+#include "openintel/storage.h"
+#include "openintel/sweeper.h"
+#include "telescope/darknet.h"
+#include "telescope/feed.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace ddos;
+
+namespace {
+
+enum class Mitigation { None, Rtbh, Scrubbing };
+
+struct RunResult {
+  std::int64_t telescope_duration_s = 0;
+  double resolution_rate_attack_hours = 0.0;  // over the attacker's 2 hours
+  double resolution_rate_after = 0.0;         // the following 2 hours
+};
+
+RunResult run(Mitigation mitigation) {
+  const netsim::IPv4Addr ns_ip(10, 9, 0, 1);
+  dns::DnsRegistry registry;
+  dns::Nameserver ns(ns_ip, {dns::Site{"x", 60e3, 20.0, 1.0}});
+  ns.set_legit_pps(1e3);
+  registry.add_nameserver(std::move(ns));
+  for (int d = 0; d < 60; ++d) {
+    registry.add_domain(
+        dns::DomainName::must("v" + std::to_string(d) + ".com"), {ns_ip});
+  }
+
+  attack::AttackSchedule schedule;
+  attack::AttackSpec flood;
+  flood.target = ns_ip;
+  flood.start = netsim::SimTime(12 * netsim::kSecondsPerHour);
+  flood.duration_s = 2 * netsim::kSecondsPerHour;
+  flood.peak_pps = 900e3;  // 15x capacity: hopeless without mitigation
+  flood.steady = true;
+  schedule.add(flood);
+
+  if (mitigation == Mitigation::Rtbh) {
+    for (const auto& event : attack::apply_rtbh(schedule,
+                                                attack::RtbhPolicy{})) {
+      registry.mutable_nameserver(event.victim)
+          .add_blackhole_interval(event.from, event.until);
+    }
+  } else if (mitigation == Mitigation::Scrubbing) {
+    attack::apply_scrubbing(schedule, attack::ScrubbingPolicy{});
+  }
+
+  RunResult result;
+  telescope::RSDoSFeed feed{telescope::InferenceParams{},
+                            attack::BackscatterModelParams{}};
+  feed.ingest(schedule, telescope::Darknet::ucsd_like(), 4);
+  for (const auto& ev : feed.events()) {
+    result.telescope_duration_s =
+        std::max(result.telescope_duration_s, ev.duration_s());
+  }
+
+  // Availability through the day from the sweeper's perspective.
+  openintel::SweeperParams sp;
+  sp.seed = 8;
+  const openintel::Sweeper sweeper(registry, schedule, sp);
+  std::uint32_t attack_ok = 0, attack_n = 0, after_ok = 0, after_n = 0;
+  const netsim::SimTime attack_end = flood.end();
+  for (int i = 0; i < 4000; ++i) {
+    const netsim::SimTime during(
+        flood.start.seconds() +
+        (i * 7) % (2 * netsim::kSecondsPerHour));
+    const auto m = sweeper.measure_with_salt(i % 60, during, i);
+    ++attack_n;
+    if (m.status == dns::ResponseStatus::Ok) ++attack_ok;
+
+    const netsim::SimTime after(
+        attack_end.seconds() + (i * 7) % (2 * netsim::kSecondsPerHour));
+    const auto m2 = sweeper.measure_with_salt(i % 60, after, i);
+    ++after_n;
+    if (m2.status == dns::ResponseStatus::Ok) ++after_ok;
+  }
+  result.resolution_rate_attack_hours =
+      static_cast<double>(attack_ok) / attack_n;
+  result.resolution_rate_after = static_cast<double>(after_ok) / after_n;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << util::banner("Extension: BGP blackholing (RTBH)") << "\n";
+  std::cout << "reference: Jonker et al. 2018 (joint DoS/blackholing view); "
+               "§6.5's 'attack impedes its own backscatter signal'\n\n";
+
+  const RunResult none = run(Mitigation::None);
+  const RunResult rtbh = run(Mitigation::Rtbh);
+  const RunResult scrub = run(Mitigation::Scrubbing);
+
+  util::TextTable table({"Metric", "No mitigation",
+                         "RTBH (10m trigger, 1h hold)",
+                         "Scrubbing (15m, 95%)"});
+  table.add_row({"attacker's true duration", "2h", "2h", "2h"});
+  const auto mins = [](std::int64_t s) {
+    return util::format_fixed(s / 60.0, 0) + " min";
+  };
+  const auto pct = [](double f) {
+    return util::format_fixed(100 * f, 1) + "%";
+  };
+  table.add_row({"telescope-inferred duration",
+                 mins(none.telescope_duration_s),
+                 mins(rtbh.telescope_duration_s),
+                 mins(scrub.telescope_duration_s)});
+  table.add_row({"resolution rate, attack hours",
+                 pct(none.resolution_rate_attack_hours),
+                 pct(rtbh.resolution_rate_attack_hours),
+                 pct(scrub.resolution_rate_attack_hours)});
+  table.add_row({"resolution rate, 2h after",
+                 pct(none.resolution_rate_after),
+                 pct(rtbh.resolution_rate_after),
+                 pct(scrub.resolution_rate_after)});
+  std::cout << table.to_string();
+  std::cout << "\nshape check: RTBH silences the backscatter (telescope "
+               "sees ~10 min of a 2-hour attack — the §6.5 bias toward the "
+               "short-duration mode) at the price of a total self-imposed "
+               "outage through the hold. Scrubbing restores service within "
+               "its activation delay while leaving the telescope's view of "
+               "rate and duration intact — the March 2021 TransIP "
+               "signature (§5.1).\n";
+  return 0;
+}

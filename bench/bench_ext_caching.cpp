@@ -1,0 +1,65 @@
+// Extension bench — end-user impact through resolver caching.
+//
+// §6.3.1 closes with "the impact on end-users in cases of complete
+// resolution failure depends on ... caching policy"; the paper cites Moura
+// et al. (IMC 2018) who showed caching lets almost all users tolerate
+// attacks with up to ~50% authoritative loss. This bench sweeps loss x TTL
+// and reports the user-perceived failure rate, simulated and analytical.
+#include <iostream>
+
+#include "dns/client_sim.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace ddos;
+
+int main() {
+  std::cout << util::banner("Extension: caching and end-user tolerance")
+            << "\n";
+  std::cout << "reference: Moura et al. 2018 (cited in §6.3.1) — with "
+               "caches, ~50% authoritative loss is nearly invisible to "
+               "users; CDN-style low TTLs erase that protection\n\n";
+
+  util::TextTable table({"TTL", "loss 25%", "loss 50%", "loss 75%",
+                         "loss 90%", "loss 99%"});
+  for (const std::uint32_t ttl : {60u, 300u, 3600u, 86400u}) {
+    std::vector<std::string> row;
+    row.push_back(ttl >= 3600 ? std::to_string(ttl / 3600) + "h"
+                              : std::to_string(ttl) + "s");
+    for (const double loss : {0.25, 0.5, 0.75, 0.90, 0.99}) {
+      dns::ClientSimParams params;
+      params.record_ttl_s = ttl;
+      params.upstream_loss = loss;
+      params.resolvers = 400;
+      params.attack_duration_s = 4 * 3600;
+      const auto result = dns::simulate_client_population(params);
+      row.push_back(
+          util::format_fixed(100.0 * result.user_failure_rate(), 2) + "%");
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << "user-perceived failure rate (simulated population of "
+               "recursive resolvers):\n"
+            << table.to_string() << "\n";
+
+  util::TextTable model({"TTL", "simulated @90% loss", "analytical @90%"});
+  for (const std::uint32_t ttl : {60u, 600u, 3600u}) {
+    dns::ClientSimParams params;
+    params.record_ttl_s = ttl;
+    params.upstream_loss = 0.90;
+    params.resolvers = 1500;
+    params.attack_duration_s = 6 * 3600;
+    const auto sim = dns::simulate_client_population(params);
+    model.add_row({std::to_string(ttl) + "s",
+                   util::format_fixed(100 * sim.user_failure_rate(), 2) + "%",
+                   util::format_fixed(
+                       100 * dns::expected_user_failure_rate(params), 2) +
+                       "%"});
+  }
+  std::cout << "renewal-model cross-check:\n" << model.to_string();
+  std::cout << "\nshape check: at 50% loss every TTL row stays near zero "
+               "(the dike holds); the failure surface only opens up at "
+               "extreme loss combined with short TTLs — why the paper's "
+               "complete-failure events hurt CDN-backed domains most.\n";
+  return 0;
+}

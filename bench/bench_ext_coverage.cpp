@@ -1,0 +1,100 @@
+// Extension bench — observability coverage of the attack ecosystem.
+//
+// §4.3: the telescope sees only randomly-and-uniformly spoofed attacks;
+// Jonker et al. (IMC 2017) found ~60% of attacks random-spoofed and ~40%
+// reflected (AmpPot-visible). This bench generates a mixed ecosystem and
+// measures what the telescope alone vs telescope + honeypot fleet observe.
+#include <iostream>
+
+#include <cmath>
+
+#include "attack/schedule.h"
+#include "netsim/rng.h"
+#include "telescope/amppot.h"
+#include "telescope/darknet.h"
+#include "telescope/feed.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace ddos;
+
+int main() {
+  std::cout << util::banner("Extension: telescope + AmpPot coverage")
+            << "\n";
+  std::cout << "reference: §4.3 / Jonker et al. 2017 — 60% of attacks "
+               "randomly spoofed (telescope-visible), 40% reflected "
+               "(honeypot-visible)\n\n";
+
+  // A mixed attack ecosystem with the published 60/40 split (plus a
+  // sliver of direct floods invisible to both sensors).
+  netsim::Rng rng(2017);
+  attack::AttackSchedule schedule;
+  telescope::CoverageSummary cov;
+  constexpr int kAttacks = 20000;
+  for (int i = 0; i < kAttacks; ++i) {
+    attack::AttackSpec spec;
+    spec.target = netsim::IPv4Addr(
+        static_cast<std::uint32_t>(0x70000000u + rng.uniform_u64(1u << 24)));
+    spec.start = netsim::SimTime(
+        rng.uniform_int(0, 30 * netsim::kSecondsPerDay));
+    spec.duration_s = 900 + rng.uniform_int(0, 3 * 3600);
+    spec.peak_pps = rng.lognormal(std::log(30e3), 1.0);
+    const double u = rng.uniform();
+    spec.spoof = u < 0.57   ? attack::SpoofType::RandomUniform
+                 : u < 0.95 ? attack::SpoofType::Reflected
+                            : attack::SpoofType::Direct;
+    spec.protocol = spec.spoof == attack::SpoofType::Reflected
+                        ? attack::Protocol::UDP
+                        : attack::Protocol::TCP;
+    spec.first_port = spec.spoof == attack::SpoofType::Reflected ? 53 : 80;
+    schedule.add(spec);
+    ++cov.total_attacks;
+    switch (spec.spoof) {
+      case attack::SpoofType::RandomUniform: ++cov.random_spoofed; break;
+      case attack::SpoofType::Reflected: ++cov.reflected; break;
+      case attack::SpoofType::Direct: ++cov.direct; break;
+    }
+  }
+
+  // Telescope view.
+  const telescope::Darknet darknet = telescope::Darknet::ucsd_like();
+  telescope::RSDoSFeed feed{telescope::InferenceParams{},
+                            attack::BackscatterModelParams{}};
+  feed.ingest(schedule, darknet, 99);
+  cov.telescope_seen = feed.events().size();
+
+  // Honeypot-fleet view — sweep fleet sizes.
+  util::TextTable table({"Sensor configuration", "Attacks seen",
+                         "Coverage"});
+  table.add_row({"telescope only", util::with_commas(cov.telescope_seen),
+                 util::format_fixed(100.0 * cov.telescope_coverage(), 1) +
+                     "%"});
+  for (const std::uint32_t honeypots : {24u, 48u, 256u, 2048u}) {
+    telescope::AmpPotParams ap;
+    ap.honeypots = honeypots;
+    const telescope::AmpPotFleet fleet(ap);
+    const auto seen = fleet.observe_all(schedule.attacks());
+    const double union_cov =
+        static_cast<double>(cov.telescope_seen + seen.size()) /
+        cov.total_attacks;
+    table.add_row({"telescope + " + std::to_string(honeypots) + " honeypots",
+                   util::with_commas(cov.telescope_seen + seen.size()),
+                   util::format_fixed(100.0 * union_cov, 1) + "%"});
+  }
+  std::cout << "ecosystem: " << util::with_commas(cov.total_attacks)
+            << " attacks — "
+            << util::format_fixed(100.0 * cov.random_spoofed /
+                                      cov.total_attacks, 1)
+            << "% random-spoofed, "
+            << util::format_fixed(100.0 * cov.reflected / cov.total_attacks, 1)
+            << "% reflected, "
+            << util::format_fixed(100.0 * cov.direct / cov.total_attacks, 1)
+            << "% direct\n\n"
+            << table.to_string();
+  std::cout << "\nshape check: the telescope alone tops out near the "
+               "random-spoofed share; pairing it with a honeypot fleet "
+               "recovers part of the reflected 40%, growing with fleet "
+               "size but with diminishing returns (each attack only "
+               "touches a few thousand of millions of reflectors).\n";
+  return 0;
+}

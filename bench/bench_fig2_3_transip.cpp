@@ -1,0 +1,63 @@
+// Figures 2 and 3 — TransIP RTT time series across both attacks, and the
+// March 2021 timeout-share series.
+#include <iostream>
+
+#include "scenario/transip.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace ddos;
+
+namespace {
+
+void print_series(const std::vector<scenario::SeriesPoint>& series,
+                  bool timeouts) {
+  for (const auto& pt : series) {
+    std::cout << "  " << pt.time.to_string() << "  "
+              << (pt.attack_marked ? '*' : ' ') << "  ";
+    if (timeouts) {
+      std::cout << util::format_fixed(100 * pt.timeout_share, 1) << "%\t"
+                << util::ascii_bar(pt.timeout_share, 40);
+    } else {
+      std::cout << util::format_fixed(pt.impact_on_rtt, 1) << "x\t"
+                << util::ascii_bar(pt.impact_on_rtt / 200.0, 40);
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << util::banner("Figures 2-3: TransIP RTT and timeout series")
+            << "\n";
+  std::cout << "paper: Dec 2020 ~10x RTT, impairment persisting ~8h past "
+               "the visible attack; Mar 2021 larger impairment matching the "
+               "telescope window, ~20% timeouts\n\n";
+  scenario::TransIPParams params;
+  params.scale = 1.0;
+  const scenario::TransIPResult r = scenario::run_transip(params);
+
+  std::cout << "Fig. 2 (left): December 2020 hourly Impact_on_RTT "
+               "(* = telescope-visible attack hours)\n";
+  print_series(r.december_series, false);
+  std::cout << "  -> peak " << util::format_fixed(r.december_peak_impact, 1)
+            << "x (paper ~10x), residual impairment "
+            << util::format_fixed(r.december_residual_hours, 1)
+            << "h after the visible attack (paper ~8h), peak timeouts "
+            << util::format_fixed(100 * r.december_peak_timeout_share, 1)
+            << "% (paper: negligible)\n\n";
+
+  std::cout << "Fig. 2 (right): March 2021 hourly Impact_on_RTT\n";
+  print_series(r.march_series, false);
+  std::cout << "  -> peak " << util::format_fixed(r.march_peak_impact, 1)
+            << "x; impairment window matches the telescope interval "
+               "(scrubbing deployed, §5.1)\n\n";
+
+  std::cout << "Fig. 3: March 2021 timeout share per hour\n";
+  print_series(r.march_series, true);
+  std::cout << "  -> peak timeout share "
+            << util::format_fixed(100 * r.march_peak_timeout_share, 1)
+            << "% (paper ~20% of observed domains)\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 5 — registered domains potentially affected by attacks, by month.
+#include "bench_common.h"
+
+#include <cmath>
+
+#include "core/analysis.h"
+
+using namespace ddos;
+
+int main() {
+  bench::print_header(
+      "Figure 5: domains potentially affected per month",
+      "typical attacks touch 10-100 domains; 8 peaks reach >10M domains "
+      "(~4-5% of the measured namespace)");
+  const auto& r = bench::longitudinal();
+  const auto rows = core::monthly_affected_domains(r.events, r.world->registry);
+
+  const double namespace_size =
+      static_cast<double>(r.world->registry.domain_count());
+  util::TextTable table({"Month", "Affected domains", "Share of namespace",
+                         "Largest single event", "Attacked NS IPs"});
+  std::uint64_t peak_months = 0;
+  for (const auto& row : rows) {
+    char month[16];
+    std::snprintf(month, sizeof(month), "%04d-%02d", row.year, row.month);
+    const double share = row.affected_domains / namespace_size;
+    if (row.largest_single_event / namespace_size > 0.05) ++peak_months;
+    table.add_row({month, util::with_commas(row.affected_domains),
+                   bench::pct(share, 1),
+                   util::with_commas(row.largest_single_event),
+                   util::with_commas(row.attacked_ns_ips)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nshape check: " << peak_months
+            << " months contain a single-event blast radius above 5% of the "
+               "namespace (paper: 8 peaks at ~4-5% of its namespace); those mega-events hit "
+               "the largest anycast provider with negligible impact.\n";
+  return 0;
+}

@@ -1,0 +1,201 @@
+// Performance micro-benchmarks (google-benchmark): throughput of the
+// pipeline's hot paths — prefix lookups, RSDoS backscatter inference,
+// agnostic resolution, NSSet aggregation, and the full join.
+#include <benchmark/benchmark.h>
+
+#include "attack/backscatter.h"
+#include "core/analysis.h"
+#include "core/audit.h"
+#include "core/join.h"
+#include "dns/wire.h"
+#include "dns/zonefile.h"
+#include "dns/resolver.h"
+#include "openintel/sweeper.h"
+#include "scenario/driver.h"
+#include "telescope/feed.h"
+#include "topology/prefix_table.h"
+
+using namespace ddos;
+
+namespace {
+
+// Shared small world for the micro-benchmarks.
+const scenario::LongitudinalResult& small_run() {
+  static const scenario::LongitudinalResult result = [] {
+    scenario::LongitudinalConfig cfg = scenario::small_longitudinal_config(3);
+    cfg.world.domain_count = 20000;
+    cfg.world.provider_count = 300;
+    cfg.workload.scale = 120.0;
+    return scenario::run_longitudinal(cfg);
+  }();
+  return result;
+}
+
+void BM_PrefixTableLookup(benchmark::State& state) {
+  topology::PrefixTable table;
+  netsim::Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    table.announce(netsim::Prefix(
+                       netsim::IPv4Addr(static_cast<std::uint32_t>(rng.next_u64())),
+                       static_cast<int>(8 + rng.uniform_u64(17))),
+                   static_cast<topology::Asn>(1 + rng.uniform_u64(65000)));
+  }
+  netsim::Rng query_rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.origin_of(
+        netsim::IPv4Addr(static_cast<std::uint32_t>(query_rng.next_u64()))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrefixTableLookup);
+
+void BM_BackscatterObservation(benchmark::State& state) {
+  attack::AttackSpec spec;
+  spec.target = netsim::IPv4Addr(7, 7, 7, 7);
+  spec.start = netsim::SimTime(0);
+  spec.duration_s = 36000;
+  spec.peak_pps = 100e3;
+  netsim::Rng rng(3);
+  const attack::BackscatterModelParams params;
+  netsim::WindowIndex w = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::observe_backscatter(
+        spec, w++ % 120, 1.0 / 341.0, 192, params, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BackscatterObservation);
+
+void BM_AgnosticResolution(benchmark::State& state) {
+  std::vector<dns::Nameserver> servers;
+  for (int i = 0; i < 3; ++i) {
+    servers.emplace_back(
+        netsim::IPv4Addr(10, 0, 0, static_cast<std::uint8_t>(i + 1)),
+        std::vector<dns::Site>{dns::Site{"x", 50e3, 20.0, 1.0}});
+  }
+  std::vector<const dns::Nameserver*> ptrs;
+  for (const auto& s : servers) ptrs.push_back(&s);
+  const std::vector<dns::OfferedLoad> loads = {
+      {40e3, 0.0}, {0.0, 0.0}, {0.0, 0.0}};
+  const dns::AgnosticResolver resolver;
+  const dns::LoadModelParams model;
+  netsim::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver.resolve(rng, ptrs, loads, model));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AgnosticResolution);
+
+void BM_SweeperMeasurement(benchmark::State& state) {
+  const auto& r = small_run();
+  openintel::SweeperParams sp;
+  sp.seed = 9;
+  const openintel::Sweeper sweeper(r.world->registry, r.workload.schedule, sp);
+  dns::DomainId d = 0;
+  const auto n = r.world->registry.end_domain();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sweeper.measure(d, sweeper.measurement_time(d, 100)));
+    d = (d + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SweeperMeasurement);
+
+void BM_StoreFold(benchmark::State& state) {
+  openintel::MeasurementStore store;
+  openintel::Measurement m;
+  m.nsset = 5;
+  m.status = dns::ResponseStatus::Ok;
+  m.rtt_ms = 20.0;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    m.time = netsim::SimTime(t);
+    t += 17;
+    store.add(m);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreFold);
+
+void BM_FullJoin(benchmark::State& state) {
+  const auto& r = small_run();
+  const core::ResilienceClassifier classifier(
+      r.world->registry, r.world->census, r.world->routes, r.world->orgs);
+  for (auto _ : state) {
+    core::JoinPipeline pipeline(r.world->registry, r.store, classifier);
+    benchmark::DoNotOptimize(pipeline.run(r.events));
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(r.events.size()));
+}
+BENCHMARK(BM_FullJoin);
+
+void BM_EventSegmentation(benchmark::State& state) {
+  const auto& r = small_run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.feed.events());
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(r.feed.records().size()));
+}
+BENCHMARK(BM_EventSegmentation);
+
+void BM_MonthlySummary(benchmark::State& state) {
+  const auto& r = small_run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::monthly_summary(r.events, r.world->registry));
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(r.events.size()));
+}
+BENCHMARK(BM_MonthlySummary);
+
+void BM_ZoneFileRoundTrip(benchmark::State& state) {
+  const auto& r = small_run();
+  const std::string zone =
+      dns::export_zone_file(r.world->registry, "com");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::parse_zone_file(zone));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(zone.size()));
+}
+BENCHMARK(BM_ZoneFileRoundTrip);
+
+void BM_WireNameDecode(benchmark::State& state) {
+  std::vector<std::uint8_t> msg;
+  dns::encode_name(dns::DomainName::must("mil.ru"), msg);
+  const std::size_t second = msg.size();
+  msg.push_back(3);
+  msg.push_back('w');
+  msg.push_back('w');
+  msg.push_back('w');
+  msg.push_back(0xC0);
+  msg.push_back(0x00);
+  for (auto _ : state) {
+    std::size_t next = 0;
+    benchmark::DoNotOptimize(dns::decode_name(msg, second, next));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireNameDecode);
+
+void BM_DelegationAudit(benchmark::State& state) {
+  const auto& r = small_run();
+  const core::DelegationAuditor auditor(r.world->registry, r.world->census,
+                                        r.world->routes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(auditor.audit_all(100));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(r.world->registry.domain_count()));
+}
+BENCHMARK(BM_DelegationAudit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Table 1 — RSDoS dataset totals: attacks, unique victim IPs, /24s, ASes.
+#include "bench_common.h"
+
+#include "telescope/noise.h"
+
+using namespace ddos;
+
+int main() {
+  bench::print_header("Table 1: RSDoS dataset summary",
+                      "4,039,485 attacks / 1,022,102 IPs / 404,076 /24s / "
+                      "25,821 ASes over Nov 2020 - Mar 2022");
+  const auto& r = bench::longitudinal();
+  const auto summary = r.feed.summarize(
+      [&](netsim::IPv4Addr ip) { return r.world->routes.origin_of(ip); });
+
+  util::TextTable table({"Metric", "Paper", "Paper ratio", "Measured",
+                         "Measured ratio"});
+  const double pa = 4039485.0;
+  const auto ratio = [](double v, double base) {
+    return util::format_fixed(v / base, 3);
+  };
+  const double ma = static_cast<double>(summary.attacks);
+  table.add_row({"#Attacks", "4,039,485", "1.000",
+                 util::with_commas(summary.attacks), "1.000"});
+  table.add_row({"#IPs", "1,022,102", ratio(1022102, pa),
+                 util::with_commas(summary.unique_ips),
+                 ratio(static_cast<double>(summary.unique_ips), ma)});
+  table.add_row({"#/24 Prefixes", "404,076", ratio(404076, pa),
+                 util::with_commas(summary.unique_slash24),
+                 ratio(static_cast<double>(summary.unique_slash24), ma)});
+  table.add_row({"#ASes", "25,821", ratio(25821, pa),
+                 util::with_commas(summary.unique_asn),
+                 ratio(static_cast<double>(summary.unique_asn), ma)});
+  std::cout << table.to_string();
+  std::cout << "\nshape check: unique-IP/attack ratio near the paper's 0.25 "
+               "indicates comparable victim-reuse behaviour; /24 and AS "
+               "ratios shrink with world scale.\n";
+
+  // The curation side of the feed (§3.1): the Moore-et-al. thresholds must
+  // reject the IBR noise the raw telescope capture is mostly made of.
+  const auto noise = telescope::generate_ibr_noise(
+      telescope::IbrNoiseParams{}, 0, 4999, r.darknet);
+  const double rejected =
+      telescope::rejection_rate(noise, r.feed.inference());
+  std::cout << "\ninference noise floor: "
+            << util::with_commas(noise.size())
+            << " IBR noise aggregates generated, "
+            << util::format_fixed(100.0 * rejected, 2)
+            << "% rejected by the thresholds (the curated feed carries only "
+               "the rare wide flicker as false positives).\n";
+  return 0;
+}

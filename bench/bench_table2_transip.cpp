@@ -1,0 +1,61 @@
+// Table 2 — TransIP attack metrics for the December 2020 and March 2021
+// attacks: per-nameserver observed packet rate, inferred traffic volume,
+// and attacker IP count.
+#include <iostream>
+
+#include "scenario/transip.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace ddos;
+
+int main() {
+  std::cout << util::banner("Table 2: TransIP attack metrics (paper §5.1)")
+            << "\n";
+  scenario::TransIPParams params;
+  params.scale = 1.0;  // the full ~776K-domain population
+  const scenario::TransIPResult r = scenario::run_transip(params);
+
+  struct PaperRow {
+    const char* ppm;
+    const char* volume;
+    const char* ips;
+  };
+  const PaperRow paper_dec[3] = {{"21.8K", "1.4 Gbps", "5.79M"},
+                                 {"3.8K", "247 Mbps", "1.57M"},
+                                 {"2.9K", "188 Mbps", "1.33M"}};
+  const PaperRow paper_mar[3] = {{"125K", "8 Gbps", "7M"},
+                                 {"123K", "7.8 Gbps", "6.19M"},
+                                 {"13K", "845 Mbps", "823K"}};
+
+  util::TextTable table({"Attack", "NS", "ppm (paper)", "ppm (ours)",
+                         "volume (paper)", "volume (ours)", "IPs (paper)",
+                         "IPs (ours)"});
+  const char* names[3] = {"A", "B", "C"};
+  for (int i = 0; i < 3; ++i) {
+    table.add_row({"December 2020", names[i], paper_dec[i].ppm,
+                   util::format_count(r.december[i].observed_ppm),
+                   paper_dec[i].volume,
+                   util::format_bps(r.december[i].inferred_gbps * 1e9),
+                   paper_dec[i].ips,
+                   util::format_count(r.december[i].attacker_ip_count)});
+  }
+  table.add_separator();
+  for (int i = 0; i < 3; ++i) {
+    table.add_row({"March 2021", names[i], paper_mar[i].ppm,
+                   util::format_count(r.march[i].observed_ppm),
+                   paper_mar[i].volume,
+                   util::format_bps(r.march[i].inferred_gbps * 1e9),
+                   paper_mar[i].ips,
+                   util::format_count(r.march[i].attacker_ip_count)});
+  }
+  std::cout << table.to_string();
+  std::cout
+      << "\nnotes: domains hosted " << util::with_commas(r.domains_hosted)
+      << " (" << util::format_fixed(100 * r.nl_share, 1)
+      << "% .nl; paper ~776K, 66% .nl). Attacker-IP counts use the number "
+         "of distinct telescope addresses reached — one plausible reading "
+         "of CAIDA's metric — so magnitudes differ while the A >> B > C "
+         "ordering and the December/March contrast hold.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table 3 — monthly attack activity: DNS-infrastructure attacks vs the
+// rest, with unique victim-IP splits.
+#include "bench_common.h"
+
+#include "core/analysis.h"
+#include "scenario/workload.h"
+
+using namespace ddos;
+
+int main() {
+  bench::print_header(
+      "Table 3: monthly attack activity",
+      "DNS attacks are 0.57-2.12% of all attacks per month; 1.21% overall");
+  const auto& r = bench::longitudinal();
+  const auto rows = core::monthly_summary(r.events, r.world->registry);
+
+  // Index the paper's monthly rows for side-by-side shares.
+  std::map<std::pair<int, int>, scenario::MonthSpec> paper;
+  for (const auto& row : scenario::paper_monthly_totals()) {
+    paper[{row.year, row.month}] = row;
+  }
+
+  util::TextTable table({"Month", "#DNS", "#Other", "Total", "DNS share",
+                         "Paper share", "DNS IPs", "Other IPs"});
+  for (const auto& row : rows) {
+    const auto it = paper.find({row.year, row.month});
+    const double paper_share =
+        it == paper.end()
+            ? 0.0
+            : static_cast<double>(it->second.dns_attacks) /
+                  it->second.total_attacks;
+    char month[16];
+    std::snprintf(month, sizeof(month), "%04d-%02d", row.year, row.month);
+    table.add_row({month, util::with_commas(row.dns_attacks),
+                   util::with_commas(row.other_attacks),
+                   util::with_commas(row.total_attacks()),
+                   bench::pct(row.dns_attack_share(), 2),
+                   bench::pct(paper_share, 2),
+                   util::with_commas(row.dns_ips),
+                   util::with_commas(row.other_ips)});
+  }
+  table.add_separator();
+  const auto totals = core::summary_totals(rows);
+  table.add_row({"Total", util::with_commas(totals.dns_attacks),
+                 util::with_commas(totals.other_attacks),
+                 util::with_commas(totals.total_attacks()),
+                 bench::pct(totals.dns_attack_share(), 2), "1.21%",
+                 util::with_commas(totals.dns_ips),
+                 util::with_commas(totals.other_ips)});
+  std::cout << table.to_string();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reactive monitoring demo (§4.3.1): consume the RSDoS feed as a stream,
+// trigger a probing campaign within ten minutes of each attack on DNS
+// infrastructure, and print the campaigns' findings as they conclude —
+// the in-process equivalent of the paper's Kafka/Spark platform, which the
+// authors propose as the path to "near real-time characterization of
+// DDoS attacks on DNS infrastructure" (§9).
+//
+//   ./examples/reactive_monitor
+#include <iostream>
+
+#include "reactive/platform.h"
+#include "scenario/world.h"
+#include "scenario/workload.h"
+#include "telescope/darknet.h"
+#include "telescope/feed.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace ddos;
+
+int main() {
+  std::cout << util::banner("reactive measurement monitor (paper §4.3.1)")
+            << "\n";
+
+  // A small world with one month of attacks.
+  scenario::WorldParams wp = scenario::small_world_params(17);
+  wp.provider_count = 60;
+  wp.domain_count = 4000;
+  const auto world = scenario::build_world(wp);
+  scenario::LongitudinalParams lp;
+  lp.seed = 99;
+  lp.scale = 300.0;
+  const scenario::Workload workload = scenario::generate_workload(*world, lp);
+
+  // Infer the feed and stitch events — the monitor's input stream.
+  const telescope::Darknet darknet = telescope::Darknet::ucsd_like();
+  telescope::RSDoSFeed feed{telescope::InferenceParams{},
+                            attack::BackscatterModelParams{}};
+  feed.ingest(workload.schedule, darknet, 4242);
+  auto events = feed.events();
+  std::sort(events.begin(), events.end(),
+            [](const telescope::RSDoSEvent& a, const telescope::RSDoSEvent& b) {
+              return a.start_window < b.start_window;
+            });
+
+  const reactive::ReactivePlatform platform(world->registry,
+                                            workload.schedule,
+                                            reactive::ReactiveParams{});
+  std::cout << "feed: " << events.size()
+            << " stitched events; triggering campaigns for nameserver "
+               "victims...\n\n";
+
+  util::TextTable table({"Trigger (UTC)", "Victim", "Org", "Delay",
+                         "Probed windows", "Min resolution", "Unresolvable",
+                         "Recovered"});
+  std::size_t campaigns = 0;
+  for (const auto& ev : events) {
+    if (!world->registry.is_ns_ip(ev.victim) ||
+        world->registry.is_open_resolver(ev.victim))
+      continue;
+    const reactive::Campaign campaign = platform.run_campaign(ev);
+    if (campaign.windows.empty()) continue;
+    if (++campaigns > 15) break;  // demo: first fifteen campaigns
+
+    double min_rate = 1.0;
+    for (const auto& w : campaign.windows) {
+      if (w.during_attack) min_rate = std::min(min_rate, w.resolution_rate());
+    }
+    const auto recovery = campaign.recovery_window(0.9);
+    table.add_row(
+        {netsim::window_start(campaign.trigger_window).to_string(),
+         ev.victim.to_string(),
+         world->orgs.org_of(world->routes.origin_of(ev.victim)),
+         std::to_string(campaign.trigger_delay_s()) + "s",
+         std::to_string(campaign.windows.size()),
+         util::format_fixed(100.0 * min_rate, 0) + "%",
+         std::to_string(campaign.fully_unresolvable_attack_windows()),
+         recovery < 0 ? "n/a"
+                      : netsim::window_start(recovery).to_string()});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nEach campaign probes up to 50 domains per 5-minute window "
+               "(one query every ~6 seconds, the paper's ethical rate cap), "
+               "targets every nameserver of each domain individually, and "
+               "keeps probing for 24 hours past the attack to observe "
+               "recovery.\n";
+  return 0;
+}

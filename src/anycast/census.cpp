@@ -1,0 +1,123 @@
+#include "anycast/census.h"
+
+#include <algorithm>
+
+#include "netsim/rng.h"
+
+namespace ddos::anycast {
+
+const char* to_string(AnycastClass c) {
+  switch (c) {
+    case AnycastClass::None: return "unicast";
+    case AnycastClass::Partial: return "partial-anycast";
+    case AnycastClass::Full: return "anycast";
+  }
+  return "unknown";
+}
+
+void AnycastCensus::add_snapshot(CensusSnapshot snapshot) {
+  snapshots_.push_back(std::move(snapshot));
+  std::sort(snapshots_.begin(), snapshots_.end(),
+            [](const CensusSnapshot& a, const CensusSnapshot& b) {
+              return a.taken_day < b.taken_day;
+            });
+}
+
+const CensusSnapshot* AnycastCensus::snapshot_for(
+    netsim::DayIndex day) const {
+  if (snapshots_.empty()) return nullptr;
+  const CensusSnapshot* best = &snapshots_.front();
+  for (const auto& s : snapshots_) {
+    if (s.taken_day <= day) best = &s;
+  }
+  return best;
+}
+
+bool AnycastCensus::is_anycast(netsim::IPv4Addr ip,
+                               netsim::DayIndex day) const {
+  const CensusSnapshot* snap = snapshot_for(day);
+  return snap && snap->anycast_slash24.contains(ip.slash24());
+}
+
+AnycastClass AnycastCensus::classify(
+    const std::vector<netsim::IPv4Addr>& ips, netsim::DayIndex day) const {
+  if (ips.empty()) return AnycastClass::None;
+  std::size_t hits = 0;
+  for (const auto& ip : ips) {
+    if (is_anycast(ip, day)) ++hits;
+  }
+  if (hits == 0) return AnycastClass::None;
+  if (hits == ips.size()) return AnycastClass::Full;
+  return AnycastClass::Partial;
+}
+
+AnycastCensus AnycastCensus::from_registry(
+    const dns::DnsRegistry& registry,
+    const std::vector<netsim::DayIndex>& days, double recall,
+    std::uint64_t seed) {
+  AnycastCensus census;
+  for (const netsim::DayIndex day : days) {
+    CensusSnapshot snap;
+    snap.taken_day = day;
+    for (const auto& ip : registry.all_ns_ips()) {
+      if (!registry.has_nameserver(ip)) continue;
+      if (!registry.nameserver(ip).anycast()) continue;
+      const netsim::IPv4Addr net = ip.slash24();
+      // Stable detection draw per (/24, snapshot): a missed /24 stays
+      // missed within the snapshot; across snapshots detection varies
+      // (the census improves and regresses between quarters).
+      const std::uint64_t h = netsim::mix64(
+          seed ^ (static_cast<std::uint64_t>(net.value()) << 16) ^
+          static_cast<std::uint64_t>(day));
+      const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      if (u < recall) snap.anycast_slash24.insert(net);
+    }
+    census.add_snapshot(std::move(snap));
+  }
+  return census;
+}
+
+AnycastCensus AnycastCensus::from_probing(
+    const dns::DnsRegistry& registry,
+    const std::vector<netsim::DayIndex>& days, std::uint32_t vantage_count,
+    std::uint64_t seed) {
+  AnycastCensus census;
+  for (const netsim::DayIndex day : days) {
+    CensusSnapshot snap;
+    snap.taken_day = day;
+    // The campaign's vantage identities for this quarter (stable per
+    // snapshot; quarters re-draw, as real measurement fleets churn).
+    std::vector<std::uint64_t> vantage_ids;
+    std::uint64_t vseed =
+        netsim::mix64(seed ^ static_cast<std::uint64_t>(day) * 0x9E37u);
+    for (std::uint32_t v = 0; v < vantage_count; ++v) {
+      vantage_ids.push_back(netsim::splitmix64(vseed));
+    }
+    for (const auto& ip : registry.all_ns_ips()) {
+      if (!registry.has_nameserver(ip)) continue;  // lame: nothing answers
+      const dns::Nameserver& ns = registry.nameserver(ip);
+      std::size_t first_site = 0;
+      bool multiple = false;
+      for (std::size_t v = 0; v < vantage_ids.size(); ++v) {
+        const std::size_t site = ns.vantage_site(vantage_ids[v]);
+        if (v == 0) first_site = site;
+        else if (site != first_site) multiple = true;
+      }
+      if (multiple) snap.anycast_slash24.insert(ip.slash24());
+    }
+    census.add_snapshot(std::move(snap));
+  }
+  return census;
+}
+
+std::vector<netsim::DayIndex> paper_census_days() {
+  std::vector<netsim::DayIndex> days;
+  days.push_back(netsim::month_start_day(2021, 1));
+  days.push_back(netsim::month_start_day(2021, 4));
+  days.push_back(netsim::month_start_day(2021, 7));
+  days.push_back(netsim::month_start_day(2021, 10));
+  days.push_back(netsim::month_start_day(2022, 1));
+  return days;
+}
+
+}  // namespace ddos::anycast

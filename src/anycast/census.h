@@ -1,0 +1,71 @@
+// Anycast census (§3.3) — quarterly snapshots of /24 subnets detected as
+// anycast (the MAnycast2 methodology of Sommese et al. 2020). The paper
+// matches authoritative NS IPs to census /24s and stresses the census is a
+// *lower bound*: detection misses some anycast deployments. We model that
+// with an explicit recall knob when deriving the census from ground truth.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "dns/registry.h"
+#include "netsim/ipv4.h"
+#include "netsim/simtime.h"
+
+namespace ddos::anycast {
+
+struct CensusSnapshot {
+  netsim::DayIndex taken_day = 0;
+  /// /24 network addresses (x.y.z.0) detected as anycast.
+  std::unordered_set<netsim::IPv4Addr> anycast_slash24;
+};
+
+/// How an NSSet is provisioned according to the census — the three bands of
+/// Fig. 11.
+enum class AnycastClass : std::uint8_t { None, Partial, Full };
+const char* to_string(AnycastClass c);
+
+class AnycastCensus {
+ public:
+  /// Snapshots may be added in any order; lookups use the latest snapshot
+  /// taken on or before the query day (or the earliest one for days that
+  /// precede all snapshots, as the paper does for Nov-Dec 2020).
+  void add_snapshot(CensusSnapshot snapshot);
+
+  std::size_t snapshot_count() const { return snapshots_.size(); }
+
+  /// /24-granularity match, per the paper's join.
+  bool is_anycast(netsim::IPv4Addr ip, netsim::DayIndex day) const;
+
+  /// Classify a set of NS IPs on a given day.
+  AnycastClass classify(const std::vector<netsim::IPv4Addr>& ips,
+                        netsim::DayIndex day) const;
+
+  /// Build a census from registry ground truth (a nameserver with multiple
+  /// sites is anycast). `recall` in (0,1] is the detection probability per
+  /// anycast /24 — the lower-bound property; sampling is stable per /24 and
+  /// snapshot so quarters are internally consistent.
+  static AnycastCensus from_registry(const dns::DnsRegistry& registry,
+                                     const std::vector<netsim::DayIndex>& days,
+                                     double recall, std::uint64_t seed);
+
+  /// MAnycast2-style census (Sommese et al., IMC 2020): probe every NS
+  /// address from `vantage_count` vantage points and flag the /24 as
+  /// anycast when probes land on more than one site. The lower-bound
+  /// property *emerges*: a deployment whose catchment funnels all chosen
+  /// vantages to one site goes undetected — no recall knob needed.
+  static AnycastCensus from_probing(const dns::DnsRegistry& registry,
+                                    const std::vector<netsim::DayIndex>& days,
+                                    std::uint32_t vantage_count,
+                                    std::uint64_t seed);
+
+ private:
+  const CensusSnapshot* snapshot_for(netsim::DayIndex day) const;
+  std::vector<CensusSnapshot> snapshots_;  // sorted by taken_day
+};
+
+/// The paper's census cadence: quarterly, January 2021 .. January 2022.
+std::vector<netsim::DayIndex> paper_census_days();
+
+}  // namespace ddos::anycast

@@ -1,0 +1,58 @@
+#include "attack/backscatter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ddos::attack {
+
+double expected_distinct_subnets(std::uint64_t packets,
+                                 std::uint32_t subnets) {
+  if (subnets == 0) return 0.0;
+  const double n = static_cast<double>(subnets);
+  const double k = static_cast<double>(packets);
+  return n * (1.0 - std::exp(-k / n));
+}
+
+BackscatterWindow observe_backscatter(const AttackSpec& attack,
+                                      netsim::WindowIndex window,
+                                      double darknet_fraction,
+                                      std::uint32_t darknet_slash16_count,
+                                      const BackscatterModelParams& params,
+                                      netsim::Rng& rng) {
+  BackscatterWindow out;
+  out.window = window;
+  out.victim = attack.target;
+  out.protocol = attack.protocol;
+  out.first_port = attack.first_port;
+  out.unique_ports = attack.unique_ports;
+
+  if (attack.spoof != SpoofType::RandomUniform) return out;  // invisible
+  const double flood_pps = attack.pps_in_window(window);
+  if (flood_pps <= 0.0) return out;
+
+  // Victim answers up to its response capacity; response_ratio of the spec
+  // scales the base ratio (e.g. 0 for a null-routed victim).
+  const double response_pps =
+      std::min(flood_pps * params.base_response_ratio * attack.response_ratio,
+               params.victim_response_capacity_pps);
+  const double expected_captured =
+      response_pps * netsim::kSecondsPerWindow * darknet_fraction;
+  // Poisson thinning of the uniform spray into the darknet.
+  out.packets = rng.poisson(expected_captured);
+  if (out.packets == 0) return out;
+
+  const double expected16 =
+      expected_distinct_subnets(out.packets, darknet_slash16_count);
+  // Mild integer jitter around the occupancy expectation.
+  const double sampled = rng.normal(expected16, std::sqrt(expected16) * 0.1);
+  out.distinct_slash16 = static_cast<std::uint32_t>(std::clamp(
+      sampled, 1.0, static_cast<double>(darknet_slash16_count)));
+
+  // Peak packets-per-minute at the telescope: mean ppm with a bursty factor.
+  const double mean_ppm = static_cast<double>(out.packets) /
+                          (netsim::kSecondsPerWindow / 60.0);
+  out.peak_ppm = mean_ppm * rng.uniform(1.02, 1.10);
+  return out;
+}
+
+}  // namespace ddos::attack

@@ -1,0 +1,55 @@
+// Backscatter generation. A victim of a randomly-and-uniformly spoofed
+// flood answers (SYN/ACKs, RSTs, ICMP errors) toward the spoofed sources,
+// which are uniform over the IPv4 space — so a darknet covering fraction f
+// of the space receives Binomial(responses, f) of them (§3.1). We generate
+// per-window aggregate counts rather than packets: the RSDoS inference
+// consumes exactly these aggregates.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/attack.h"
+#include "netsim/rng.h"
+#include "netsim/simtime.h"
+
+namespace ddos::attack {
+
+/// Aggregate backscatter landing in a darknet during one 5-minute window,
+/// attributable to one victim.
+struct BackscatterWindow {
+  netsim::WindowIndex window = 0;
+  netsim::IPv4Addr victim;
+  std::uint64_t packets = 0;        // backscatter packets captured
+  std::uint32_t distinct_slash16 = 0;  // telescope /16s reached
+  Protocol protocol = Protocol::TCP;
+  std::uint16_t first_port = 0;     // source port of responses == attacked port
+  std::uint16_t unique_ports = 1;
+  double peak_ppm = 0.0;            // peak packets/min seen at the telescope
+};
+
+struct BackscatterModelParams {
+  /// Fraction of flood packets the victim answers. Saturated or filtered
+  /// victims answer fewer — the paper notes successful attacks can silence
+  /// their own backscatter signal (§6.5).
+  double base_response_ratio = 1.0;
+  /// Victim response capacity (pps). Responses are capped at this rate,
+  /// so backscatter saturates for intense attacks.
+  double victim_response_capacity_pps = 1e6;
+};
+
+/// Simulate the backscatter of `attack` during `window` as seen by a
+/// darknet covering `darknet_fraction` of IPv4 with `darknet_slash16_count`
+/// /16-equivalent subnets. Returns packets == 0 for telescope-invisible
+/// attacks (reflected/direct) and for windows outside the attack.
+BackscatterWindow observe_backscatter(const AttackSpec& attack,
+                                      netsim::WindowIndex window,
+                                      double darknet_fraction,
+                                      std::uint32_t darknet_slash16_count,
+                                      const BackscatterModelParams& params,
+                                      netsim::Rng& rng);
+
+/// Expected number of distinct subnets hit when `packets` land uniformly
+/// over `subnets` bins (occupancy formula).
+double expected_distinct_subnets(std::uint64_t packets, std::uint32_t subnets);
+
+}  // namespace ddos::attack

@@ -1,0 +1,82 @@
+#include "attack/mitigation.h"
+
+namespace ddos::attack {
+
+std::vector<ScrubEvent> apply_scrubbing(AttackSchedule& schedule,
+                                        const ScrubbingPolicy& policy) {
+  std::vector<ScrubEvent> events;
+  struct Plan {
+    std::uint64_t id;
+    netsim::IPv4Addr victim;
+    netsim::SimTime from;
+    AttackSpec scrubbed_tail;
+  };
+  std::vector<Plan> plans;
+  for (const auto& spec : schedule.attacks()) {
+    if (spec.spoof != SpoofType::RandomUniform) continue;
+    if (spec.scrubbed_fraction > 0.0) continue;  // already diverted
+    if (spec.peak_pps < policy.trigger_pps) continue;
+    const netsim::SimTime from = spec.start + policy.activation_delay_s;
+    if (from >= spec.end()) continue;
+
+    Plan plan;
+    plan.id = spec.id;
+    plan.victim = spec.target;
+    plan.from = from;
+    plan.scrubbed_tail = spec;
+    plan.scrubbed_tail.id = 0;
+    plan.scrubbed_tail.start = from;
+    plan.scrubbed_tail.duration_s = spec.end() - from;
+    plan.scrubbed_tail.scrubbed_fraction = policy.efficacy;
+    plans.push_back(plan);
+  }
+  for (const auto& plan : plans) {
+    if (!schedule.truncate_attack(plan.id, plan.from)) continue;
+    schedule.add(plan.scrubbed_tail);
+    events.push_back(ScrubEvent{plan.victim, plan.id, plan.from});
+  }
+  return events;
+}
+
+std::vector<RtbhEvent> apply_rtbh(AttackSchedule& schedule,
+                                  const RtbhPolicy& policy) {
+  std::vector<RtbhEvent> events;
+  // Collect first: adding continuation specs while iterating would
+  // invalidate the attack list.
+  struct Plan {
+    std::uint64_t id;
+    netsim::IPv4Addr victim;
+    netsim::SimTime start;
+    netsim::SimTime original_end;
+    AttackSpec continuation;
+  };
+  std::vector<Plan> plans;
+  for (const auto& spec : schedule.attacks()) {
+    if (spec.spoof != SpoofType::RandomUniform) continue;
+    if (spec.peak_pps < policy.trigger_pps) continue;
+    const netsim::SimTime trigger = spec.start + policy.reaction_delay_s;
+    if (trigger >= spec.end()) continue;  // over before anyone reacts
+
+    Plan plan;
+    plan.id = spec.id;
+    plan.victim = spec.target;
+    plan.start = trigger;
+    plan.original_end = spec.end();
+    plan.continuation = spec;
+    plan.continuation.id = 0;
+    plan.continuation.spoof = SpoofType::Direct;  // backscatter-silent
+    plan.continuation.start = trigger;
+    plan.continuation.duration_s = spec.end() - trigger;
+    plans.push_back(plan);
+  }
+
+  for (const auto& plan : plans) {
+    if (!schedule.truncate_attack(plan.id, plan.start)) continue;
+    schedule.add(plan.continuation);
+    events.push_back(RtbhEvent{plan.victim, plan.id, plan.start,
+                               plan.original_end + policy.hold_s});
+  }
+  return events;
+}
+
+}  // namespace ddos::attack

@@ -1,0 +1,77 @@
+// Remote-Triggered Blackholing (RTBH) — the operator mitigation Jonker et
+// al. studied jointly with the telescope (IMC 2018, cited in the paper's
+// introduction). When a flood exceeds what an operator will absorb, they
+// announce the victim /32 to their upstream with the blackhole community:
+// all traffic to it — attack and legitimate alike — is dropped upstream.
+//
+// Two observable consequences this module reproduces:
+//   * the victim goes completely dark (a self-inflicted outage, worse for
+//     availability than most attacks);
+//   * backscatter stops, so the telescope infers a much shorter attack
+//     than the attacker actually ran — one of the paper's §6.5
+//     explanations for the short-duration mode ("the attack succeeds and
+//     impedes responses that serve as backscatter signal").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/schedule.h"
+#include "netsim/ipv4.h"
+#include "netsim/simtime.h"
+
+namespace ddos::attack {
+
+struct RtbhPolicy {
+  /// Flood rate at which the operator pulls the trigger.
+  double trigger_pps = 400e3;
+  /// Detection + escalation latency before the null-route lands.
+  std::int64_t reaction_delay_s = 600;
+  /// Conservative hold after the attack traffic stops.
+  std::int64_t hold_s = 3600;
+};
+
+struct RtbhEvent {
+  netsim::IPv4Addr victim;
+  std::uint64_t attack_id = 0;
+  netsim::SimTime from;   // null-route installed
+  netsim::SimTime until;  // withdrawn
+};
+
+struct ScrubbingPolicy {
+  /// Flood rate at which the victim's traffic is diverted to a scrubber.
+  double trigger_pps = 400e3;
+  /// Contracting/diversion latency before cleaning starts.
+  std::int64_t activation_delay_s = 900;
+  /// Fraction of attack traffic the scrubber removes.
+  double efficacy = 0.95;
+};
+
+struct ScrubEvent {
+  netsim::IPv4Addr victim;
+  std::uint64_t attack_id = 0;
+  netsim::SimTime from;  // scrubbing active from here to the attack's end
+};
+
+/// Divert triggering floods through a scrubbing service: the flood's tail
+/// is split off with `scrubbed_fraction = efficacy`, so the victim feels a
+/// twentieth of it while the telescope — watching the spoofed traffic's
+/// backscatter — still sees the attack at full rate and full duration
+/// (exactly the March 2021 TransIP signature, §5.1).
+std::vector<ScrubEvent> apply_scrubbing(AttackSchedule& schedule,
+                                        const ScrubbingPolicy& policy);
+
+/// Apply the policy to every randomly-spoofed flood in the schedule.
+/// For each triggering attack this
+///   (1) truncates the attack's *backscatter-visible* portion at the
+///       null-route time (the spec's duration is cut; a Direct-type
+///       continuation spec preserves the attacker's ongoing traffic for
+///       bookkeeping), and
+///   (2) returns the blackhole interval, which callers apply to the
+///       affected nameservers via Nameserver::add_blackhole_interval.
+/// Deterministic and idempotent on the returned events (the continuation
+/// specs do not re-trigger: they are not randomly spoofed).
+std::vector<RtbhEvent> apply_rtbh(AttackSchedule& schedule,
+                                  const RtbhPolicy& policy);
+
+}  // namespace ddos::attack

@@ -1,0 +1,104 @@
+#include "attack/schedule.h"
+
+#include <algorithm>
+
+namespace ddos::attack {
+
+std::uint64_t AttackSchedule::add(AttackSpec spec) {
+  if (spec.id == 0) spec.id = next_id_++;
+  next_id_ = std::max(next_id_, spec.id + 1);
+  const std::size_t idx = attacks_.size();
+  by_ip_[spec.target].push_back(idx);
+  by_slash24_[spec.target.slash24()].push_back(idx);
+  attacks_.push_back(spec);
+  return spec.id;
+}
+
+const AttackSpec* AttackSchedule::find(std::uint64_t id) const {
+  for (const auto& a : attacks_) {
+    if (a.id == id) return &a;
+  }
+  return nullptr;
+}
+
+double AttackSchedule::attack_pps_at(netsim::IPv4Addr ip,
+                                     netsim::WindowIndex window) const {
+  const auto it = by_ip_.find(ip);
+  if (it == by_ip_.end()) return 0.0;
+  double pps = 0.0;
+  for (const std::size_t idx : it->second)
+    pps += attacks_[idx].victim_pps_in_window(window);
+  return pps;
+}
+
+double AttackSchedule::slash24_pps_at(netsim::IPv4Addr ip,
+                                      netsim::WindowIndex window) const {
+  const auto it = by_slash24_.find(ip.slash24());
+  if (it == by_slash24_.end()) return 0.0;
+  double pps = 0.0;
+  for (const std::size_t idx : it->second)
+    pps += attacks_[idx].victim_pps_in_window(window);
+  return pps;
+}
+
+void AttackSchedule::set_link_capacity(netsim::IPv4Addr any_ip_in_24,
+                                       double pps) {
+  link_capacity_[any_ip_in_24.slash24()] = pps;
+}
+
+double AttackSchedule::link_utilisation_at(netsim::IPv4Addr ip,
+                                           netsim::WindowIndex window) const {
+  const auto cap = link_capacity_.find(ip.slash24());
+  if (cap == link_capacity_.end() || cap->second <= 0.0) return 0.0;
+  return slash24_pps_at(ip, window) / cap->second;
+}
+
+bool AttackSchedule::truncate_attack(std::uint64_t id, netsim::SimTime at) {
+  for (auto& spec : attacks_) {
+    if (spec.id != id) continue;
+    if (at <= spec.start || at >= spec.end()) return false;
+    spec.duration_s = at - spec.start;
+    return true;
+  }
+  return false;
+}
+
+std::vector<const AttackSpec*> AttackSchedule::attacks_on(
+    netsim::IPv4Addr ip) const {
+  std::vector<const AttackSpec*> out;
+  const auto it = by_ip_.find(ip);
+  if (it == by_ip_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::size_t idx : it->second) out.push_back(&attacks_[idx]);
+  return out;
+}
+
+std::vector<const AttackSpec*> AttackSchedule::active_in(
+    netsim::WindowIndex window) const {
+  std::vector<const AttackSpec*> out;
+  for (const auto& a : attacks_) {
+    if (a.first_window() <= window && window <= a.last_window())
+      out.push_back(&a);
+  }
+  return out;
+}
+
+netsim::SimTime AttackSchedule::earliest_start() const {
+  netsim::SimTime t;
+  bool first = true;
+  for (const auto& a : attacks_) {
+    if (first || a.start < t) t = a.start;
+    first = false;
+  }
+  return t;
+}
+
+netsim::SimTime AttackSchedule::latest_end() const {
+  netsim::SimTime t;
+  for (const auto& a : attacks_) {
+    if (a.end() > t) t = a.end();
+  }
+  return t;
+}
+
+}  // namespace ddos::attack

@@ -1,0 +1,89 @@
+#include "core/export.h"
+
+#include <string>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace ddos::core {
+
+std::string events_csv_header() {
+  return "victim,nsset,start_window,end_window,max_ppm,domains_hosted,"
+         "domains_measured,baseline_rtt_ms,peak_impact,mean_impact,ok,"
+         "timeouts,servfails,anycast_class,distinct_asns,distinct_slash24,"
+         "org";
+}
+
+void write_events_csv(std::ostream& out,
+                      const std::vector<NssetAttackEvent>& events) {
+  out << events_csv_header() << '\n';
+  util::CsvWriter writer(out);
+  for (const auto& ev : events) {
+    writer.row(ev.rsdos.victim.to_string(), ev.nsset, ev.rsdos.start_window,
+               ev.rsdos.end_window, util::format_fixed(ev.rsdos.max_ppm, 3),
+               ev.domains_hosted, ev.domains_measured,
+               util::format_fixed(ev.baseline_rtt_ms, 4),
+               util::format_fixed(ev.peak_impact, 4),
+               util::format_fixed(ev.mean_impact, 4), ev.ok, ev.timeouts,
+               ev.servfails,
+               std::string(anycast::to_string(ev.resilience.anycast_class)),
+               ev.resilience.distinct_asns, ev.resilience.distinct_slash24,
+               ev.resilience.org);
+  }
+}
+
+std::vector<NssetAttackEvent> read_events_csv(std::istream& in) {
+  std::vector<NssetAttackEvent> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == events_csv_header()) continue;
+    const auto fields = util::parse_csv_line(line);
+    if (fields.size() != 17) continue;
+    NssetAttackEvent ev;
+    const auto victim = netsim::IPv4Addr::parse(fields[0]);
+    std::uint64_t u = 0;
+    double d = 0.0;
+    if (!victim) continue;
+    ev.rsdos.victim = *victim;
+    if (!util::parse_u64(fields[1], u)) continue;
+    ev.nsset = static_cast<dns::NssetId>(u);
+    if (!util::parse_u64(fields[2], u)) continue;
+    ev.rsdos.start_window = static_cast<netsim::WindowIndex>(u);
+    if (!util::parse_u64(fields[3], u)) continue;
+    ev.rsdos.end_window = static_cast<netsim::WindowIndex>(u);
+    if (!util::parse_double(fields[4], d)) continue;
+    ev.rsdos.max_ppm = d;
+    if (!util::parse_u64(fields[5], ev.domains_hosted)) continue;
+    if (!util::parse_u64(fields[6], u)) continue;
+    ev.domains_measured = static_cast<std::uint32_t>(u);
+    if (!util::parse_double(fields[7], ev.baseline_rtt_ms)) continue;
+    if (!util::parse_double(fields[8], ev.peak_impact)) continue;
+    if (!util::parse_double(fields[9], ev.mean_impact)) continue;
+    if (!util::parse_u64(fields[10], u)) continue;
+    ev.ok = static_cast<std::uint32_t>(u);
+    if (!util::parse_u64(fields[11], u)) continue;
+    ev.timeouts = static_cast<std::uint32_t>(u);
+    if (!util::parse_u64(fields[12], u)) continue;
+    ev.servfails = static_cast<std::uint32_t>(u);
+    if (fields[13] == "anycast")
+      ev.resilience.anycast_class = anycast::AnycastClass::Full;
+    else if (fields[13] == "partial-anycast")
+      ev.resilience.anycast_class = anycast::AnycastClass::Partial;
+    else
+      ev.resilience.anycast_class = anycast::AnycastClass::None;
+    if (!util::parse_u64(fields[14], u)) continue;
+    ev.resilience.distinct_asns = static_cast<std::uint32_t>(u);
+    if (!util::parse_u64(fields[15], u)) continue;
+    ev.resilience.distinct_slash24 = static_cast<std::uint32_t>(u);
+    ev.resilience.org = fields[16];
+    ev.failure_rate =
+        ev.domains_measured
+            ? static_cast<double>(ev.timeouts + ev.servfails) /
+                  ev.domains_measured
+            : 0.0;
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+}  // namespace ddos::core

@@ -1,0 +1,31 @@
+// CSV export of the pipeline's analysis products, so the bench harness's
+// series can be re-plotted outside this repository (the paper's figures
+// are scatter/CDF plots of exactly these rows).
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "core/join.h"
+
+namespace ddos::core {
+
+/// One joined NSSet-attack event as a flat CSV row. Fields:
+/// victim,nsset,start_window,end_window,max_ppm,domains_hosted,
+/// domains_measured,baseline_rtt_ms,peak_impact,mean_impact,ok,timeouts,
+/// servfails,anycast_class,distinct_asns,distinct_slash24,org
+void write_events_csv(std::ostream& out,
+                      const std::vector<NssetAttackEvent>& events);
+
+/// Parse rows written by write_events_csv (header optional). Rows that do
+/// not parse are skipped; returns the events read. The resilience org may
+/// contain commas — it is CSV-quoted on write and unquoted on read.
+std::vector<NssetAttackEvent> read_events_csv(std::istream& in);
+
+/// Header line of the export format.
+std::string events_csv_header();
+
+}  // namespace ddos::core

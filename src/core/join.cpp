@@ -1,0 +1,138 @@
+#include "core/join.h"
+
+#include <algorithm>
+
+#include "core/impact.h"
+
+namespace ddos::core {
+
+JoinPipeline::JoinPipeline(const dns::DnsRegistry& registry,
+                           const openintel::MeasurementStore& store,
+                           const ResilienceClassifier& classifier,
+                           JoinParams params)
+    : registry_(registry),
+      store_(store),
+      classifier_(classifier),
+      params_(params) {}
+
+bool JoinPipeline::build_event(const telescope::RSDoSEvent& ev,
+                               dns::NssetId nsset,
+                               NssetAttackEvent& out) const {
+  const netsim::DayIndex day_before = ev.start_time().day() - 1;
+  const double baseline = store_.daily_avg_rtt(nsset, day_before);
+
+  openintel::Aggregate total;
+  double peak_impact = 0.0;
+  double impact_weighted_sum = 0.0;
+  std::uint64_t impact_weight = 0;
+  for (netsim::WindowIndex w = ev.start_window; w <= ev.end_window; ++w) {
+    const openintel::Aggregate* agg = store_.window(nsset, w);
+    if (!agg) continue;
+    total.merge(*agg);
+    if (baseline > 0.0) {
+      const double impact = impact_on_rtt(*agg, baseline);
+      if (impact > 0.0) {
+        peak_impact = std::max(peak_impact, impact);
+        impact_weighted_sum += impact * agg->measured;
+        impact_weight += agg->measured;
+      }
+    }
+  }
+
+  if (total.measured < params_.min_measured_domains) return false;
+  if (baseline <= 0.0) return false;
+
+  out.rsdos = ev;
+  out.nsset = nsset;
+  out.domains_hosted = registry_.domains_of_nsset(nsset).size();
+  out.domains_measured = total.measured;
+  out.baseline_rtt_ms = baseline;
+  out.peak_impact = peak_impact;
+  out.mean_impact =
+      impact_weight ? impact_weighted_sum / static_cast<double>(impact_weight)
+                    : 0.0;
+  out.ok = total.ok;
+  out.timeouts = total.timeout;
+  out.servfails = total.servfail;
+  out.failure_rate = total.failure_rate();
+  out.resilience = classifier_.classify(nsset, ev.start_time().day());
+  return true;
+}
+
+std::vector<NssetAttackEvent> merge_concurrent_events(
+    std::vector<NssetAttackEvent> events) {
+  std::sort(events.begin(), events.end(),
+            [](const NssetAttackEvent& a, const NssetAttackEvent& b) {
+              if (a.nsset != b.nsset) return a.nsset < b.nsset;
+              return a.rsdos.start_window < b.rsdos.start_window;
+            });
+  std::vector<NssetAttackEvent> out;
+  for (auto& ev : events) {
+    if (!out.empty() && out.back().nsset == ev.nsset &&
+        ev.rsdos.start_window <= out.back().rsdos.end_window) {
+      NssetAttackEvent& merged = out.back();
+      merged.rsdos.end_window =
+          std::max(merged.rsdos.end_window, ev.rsdos.end_window);
+      merged.rsdos.max_ppm = std::max(merged.rsdos.max_ppm, ev.rsdos.max_ppm);
+      merged.rsdos.total_packets += ev.rsdos.total_packets;
+      merged.peak_impact = std::max(merged.peak_impact, ev.peak_impact);
+      merged.mean_impact = std::max(merged.mean_impact, ev.mean_impact);
+      // Keep the widest constituent's measurement tallies: the windows of
+      // concurrent events overlap, so summing would double count.
+      if (ev.domains_measured > merged.domains_measured) {
+        merged.domains_measured = ev.domains_measured;
+        merged.ok = ev.ok;
+        merged.timeouts = ev.timeouts;
+        merged.servfails = ev.servfails;
+        merged.failure_rate = ev.failure_rate;
+      }
+      continue;
+    }
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+std::vector<NssetAttackEvent> JoinPipeline::run(
+    const std::vector<telescope::RSDoSEvent>& events) {
+  std::vector<NssetAttackEvent> out;
+  stats_ = JoinStats{};
+  stats_.total_events = events.size();
+
+  for (const auto& ev : events) {
+    if (registry_.is_open_resolver(ev.victim)) {
+      ++stats_.open_resolver_filtered;
+      continue;
+    }
+    if (!registry_.is_ns_ip(ev.victim)) {
+      ++stats_.non_dns;
+      continue;
+    }
+    ++stats_.dns_events;
+
+    const netsim::DayIndex day_before = ev.start_time().day() - 1;
+    if (!store_.ns_seen_on(ev.victim, day_before)) {
+      // The previous-day join (§4.2): a server never successfully queried
+      // the day before cannot be mapped to hosted domains.
+      ++stats_.not_seen_day_before;
+      continue;
+    }
+
+    for (const dns::NssetId nsset : registry_.nssets_containing(ev.victim)) {
+      NssetAttackEvent nae;
+      if (build_event(ev, nsset, nae)) {
+        out.push_back(std::move(nae));
+        ++stats_.joined;
+      } else {
+        ++stats_.below_measurement_floor;
+      }
+    }
+  }
+  if (params_.merge_concurrent) {
+    out = merge_concurrent_events(std::move(out));
+    stats_.joined = out.size();
+  }
+  return out;
+}
+
+}  // namespace ddos::core

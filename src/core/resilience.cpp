@@ -1,0 +1,52 @@
+#include "core/resilience.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace ddos::core {
+
+ResilienceClassifier::ResilienceClassifier(const dns::DnsRegistry& registry,
+                                           const anycast::AnycastCensus& census,
+                                           const topology::PrefixTable& routes,
+                                           const topology::AsRegistry& orgs)
+    : registry_(registry), census_(census), routes_(routes), orgs_(orgs) {}
+
+ResilienceProfile ResilienceClassifier::classify(dns::NssetId nsset,
+                                                 netsim::DayIndex day) const {
+  return classify_ips(registry_.nsset_key(nsset).ips, day);
+}
+
+ResilienceProfile ResilienceClassifier::classify_ips(
+    const std::vector<netsim::IPv4Addr>& ips, netsim::DayIndex day) const {
+  ResilienceProfile profile;
+  profile.nameserver_count = static_cast<std::uint32_t>(ips.size());
+  profile.anycast_class = census_.classify(ips, day);
+
+  std::unordered_set<std::uint32_t> asns;
+  std::unordered_set<netsim::IPv4Addr> nets;
+  std::map<topology::Asn, std::uint32_t> asn_votes;
+  for (const auto& ip : ips) {
+    nets.insert(ip.slash24());
+    const topology::Asn asn = routes_.origin_of(ip);
+    if (asn != 0) {
+      asns.insert(asn);
+      ++asn_votes[asn];
+    }
+  }
+  profile.distinct_asns = static_cast<std::uint32_t>(asns.size());
+  profile.distinct_slash24 = static_cast<std::uint32_t>(nets.size());
+
+  // Majority ASN; ties resolve to the smallest ASN (deterministic).
+  std::uint32_t best_votes = 0;
+  for (const auto& [asn, votes] : asn_votes) {
+    if (votes > best_votes) {
+      best_votes = votes;
+      profile.asn = asn;
+    }
+  }
+  profile.org = orgs_.org_of(profile.asn);
+  return profile;
+}
+
+}  // namespace ddos::core

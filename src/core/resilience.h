@@ -1,0 +1,54 @@
+// Resilience-technique classification of NSSets (§6.6): anycast adoption
+// (via the census /24 match), AS diversity (distinct origin ASNs via
+// prefix2as), and /24 prefix diversity. Also attributes an NSSet to an
+// organisation for the company leaderboards (Tables 4 and 6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "anycast/census.h"
+#include "dns/registry.h"
+#include "netsim/simtime.h"
+#include "topology/as_registry.h"
+#include "topology/prefix_table.h"
+
+namespace ddos::core {
+
+struct ResilienceProfile {
+  anycast::AnycastClass anycast_class = anycast::AnycastClass::None;
+  std::uint32_t distinct_asns = 0;
+  std::uint32_t distinct_slash24 = 0;
+  std::uint32_t nameserver_count = 0;
+  /// Majority organisation across the NSSet's NS IPs ("" when unrouted).
+  std::string org;
+  /// Majority origin ASN (0 when unrouted).
+  topology::Asn asn = 0;
+};
+
+class ResilienceClassifier {
+ public:
+  ResilienceClassifier(const dns::DnsRegistry& registry,
+                       const anycast::AnycastCensus& census,
+                       const topology::PrefixTable& routes,
+                       const topology::AsRegistry& orgs);
+
+  /// Classify an NSSet as of `day` (census snapshots are day-dependent).
+  ResilienceProfile classify(dns::NssetId nsset, netsim::DayIndex day) const;
+
+  /// Classify an arbitrary IP set (reactive platform, case studies).
+  ResilienceProfile classify_ips(const std::vector<netsim::IPv4Addr>& ips,
+                                 netsim::DayIndex day) const;
+
+  const topology::PrefixTable& routes() const { return routes_; }
+  const topology::AsRegistry& orgs() const { return orgs_; }
+
+ private:
+  const dns::DnsRegistry& registry_;
+  const anycast::AnycastCensus& census_;
+  const topology::PrefixTable& routes_;
+  const topology::AsRegistry& orgs_;
+};
+
+}  // namespace ddos::core

@@ -1,0 +1,66 @@
+#include "dns/cache.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ddos::dns {
+
+Cache::Cache(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void Cache::put(const DomainName& owner, RRType type,
+                std::vector<ResourceRecord> records, netsim::SimTime now) {
+  std::uint32_t min_ttl = std::numeric_limits<std::uint32_t>::max();
+  for (const auto& rr : records) min_ttl = std::min(min_ttl, rr.ttl);
+  if (records.empty()) min_ttl = 0;
+  const Key key{owner, type};
+  if (!entries_.contains(key) && entries_.size() >= capacity_) evict_one();
+  entries_[key] = Entry{std::move(records), now + static_cast<std::int64_t>(min_ttl)};
+}
+
+std::optional<std::vector<ResourceRecord>> Cache::get(const DomainName& owner,
+                                                      RRType type,
+                                                      netsim::SimTime now) {
+  const auto it = entries_.find(Key{owner, type});
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  if (it->second.expiry <= now) {
+    entries_.erase(it);
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second.records;
+}
+
+std::int64_t Cache::remaining_ttl(const DomainName& owner, RRType type,
+                                  netsim::SimTime now) const {
+  const auto it = entries_.find(Key{owner, type});
+  if (it == entries_.end() || it->second.expiry <= now) return 0;
+  return it->second.expiry - now;
+}
+
+std::size_t Cache::purge_expired(netsim::SimTime now) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expiry <= now) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void Cache::evict_one() {
+  if (entries_.empty()) return;
+  auto victim = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.expiry < victim->second.expiry) victim = it;
+  }
+  entries_.erase(victim);
+}
+
+}  // namespace ddos::dns

@@ -1,0 +1,64 @@
+// TTL-bounded resolver cache (§2.2). The paper's OpenINTEL measurements
+// deliberately bypass the cache for the first NS query per domain; we model
+// the cache anyway because (a) additional queries may be served from it,
+// (b) the end-user impact discussion (§6.3.1) hinges on cached popular
+// domains weathering attacks, and (c) the reactive platform reuses it.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dns/records.h"
+#include "netsim/simtime.h"
+
+namespace ddos::dns {
+
+class Cache {
+ public:
+  /// `capacity` bounds the number of cached keys; oldest-expiry entries are
+  /// evicted first when full.
+  explicit Cache(std::size_t capacity = 1u << 20);
+
+  /// Insert records under (owner, type); expiry = now + min TTL of the set.
+  void put(const DomainName& owner, RRType type,
+           std::vector<ResourceRecord> records, netsim::SimTime now);
+
+  /// Lookup; expired entries are treated as absent (and pruned lazily).
+  std::optional<std::vector<ResourceRecord>> get(const DomainName& owner,
+                                                 RRType type,
+                                                 netsim::SimTime now);
+
+  /// Remaining TTL in seconds for a cached key, 0 when absent/expired.
+  std::int64_t remaining_ttl(const DomainName& owner, RRType type,
+                             netsim::SimTime now) const;
+
+  /// Drop all entries whose expiry is <= now. Returns number removed.
+  std::size_t purge_expired(netsim::SimTime now);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Key {
+    DomainName owner;
+    RRType type;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Entry {
+    std::vector<ResourceRecord> records;
+    netsim::SimTime expiry;
+  };
+
+  void evict_one();
+
+  std::size_t capacity_;
+  std::map<Key, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ddos::dns

@@ -1,0 +1,81 @@
+#include "dns/client_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ddos::dns {
+
+namespace {
+
+/// One recursive resolver's view of the record: just the expiry time.
+struct ResolverState {
+  std::int64_t cached_until = -1;  // < t means not cached
+};
+
+}  // namespace
+
+ClientSimResult simulate_client_population(const ClientSimParams& params) {
+  netsim::Rng rng(params.seed);
+  ClientSimResult result;
+  std::vector<ResolverState> resolvers(params.resolvers);
+
+  const double p_fail_attempt = std::clamp(params.upstream_loss, 0.0, 1.0);
+  const std::int64_t t_attack_start = params.warmup_s;
+  const std::int64_t t_end = params.warmup_s + params.attack_duration_s;
+
+  // Event-driven per resolver: client queries arrive as a Poisson process.
+  for (auto& resolver : resolvers) {
+    double t = 0.0;
+    while (true) {
+      t += rng.exponential(params.queries_per_resolver_hz);
+      const auto now = static_cast<std::int64_t>(t);
+      if (now >= t_end) break;
+      const bool during_attack = now >= t_attack_start;
+      if (during_attack) ++result.queries_during_attack;
+
+      if (resolver.cached_until >= now) {
+        if (during_attack) ++result.served_from_cache;
+        continue;
+      }
+      // Cache miss: resolve upstream. Before the attack the authoritative
+      // always answers; during it each attempt fails with upstream_loss.
+      bool resolved = false;
+      for (int a = 0; a < params.upstream_attempts; ++a) {
+        if (!during_attack || !rng.chance(p_fail_attempt)) {
+          resolved = true;
+          break;
+        }
+      }
+      if (resolved) {
+        resolver.cached_until = now + params.record_ttl_s;
+        if (during_attack) ++result.resolved_upstream;
+      } else if (during_attack) {
+        ++result.failed;
+      }
+    }
+  }
+  return result;
+}
+
+double expected_user_failure_rate(const ClientSimParams& params) {
+  const double lambda = params.queries_per_resolver_hz;
+  const double ttl = static_cast<double>(params.record_ttl_s);
+  const double p_all_attempts_fail =
+      std::pow(std::clamp(params.upstream_loss, 0.0, 1.0),
+               params.upstream_attempts);
+  if (lambda <= 0.0) return 0.0;
+
+  // Renewal argument per resolver: after a successful resolution the
+  // record is cached for TTL seconds; queries inside that window hit.
+  // The first query after expiry misses; it fails with p_all, in which
+  // case the next query retries (no caching of failures). Expected
+  // queries per renewal cycle: hits = lambda*TTL, misses until success =
+  // 1/(1-p_all). Failed queries per cycle = p_all/(1-p_all).
+  const double hits = lambda * ttl;
+  const double misses_until_success =
+      p_all_attempts_fail >= 1.0 ? 1e18 : 1.0 / (1.0 - p_all_attempts_fail);
+  const double failures = misses_until_success - 1.0;
+  return failures / (hits + misses_until_success);
+}
+
+}  // namespace ddos::dns

@@ -1,0 +1,51 @@
+#include "dns/load_model.h"
+
+#include <algorithm>
+
+namespace ddos::dns {
+
+double rtt_multiplier(double rho, const LoadModelParams& params,
+                      InflationLaw law) {
+  if (rho <= 0.0) return 1.0;
+  double mult = 1.0;
+  switch (law) {
+    case InflationLaw::Queueing: {
+      if (rho >= 1.0) {
+        mult = params.max_inflation;
+      } else {
+        mult = 1.0 + params.kappa * rho / (1.0 - rho);
+      }
+      break;
+    }
+    case InflationLaw::Linear: {
+      // Ablation comparator: latency grows proportionally with load and
+      // never explodes — fails to reproduce the paper's 100x tail.
+      mult = 1.0 + params.kappa * rho;
+      break;
+    }
+  }
+  return std::clamp(mult, 1.0, params.max_inflation);
+}
+
+double response_probability(double rho, const LoadModelParams& params) {
+  if (rho <= params.loss_onset) return 1.0;
+  if (rho >= 1.0) {
+    // Saturated: the server answers at capacity (with the onset loss level
+    // carried over so the curve is continuous at rho = 1); excess queries
+    // are dropped.
+    return std::max(0.0, 0.95 / rho);
+  }
+  // Transition region [loss_onset, 1): linear ramp from no loss at the
+  // onset to 5% loss at saturation, meeting the 0.95/rho branch at rho=1.
+  const double span = 1.0 - params.loss_onset;
+  const double frac = (rho - params.loss_onset) / span;
+  return 1.0 - 0.05 * frac;
+}
+
+double utilisation(double attack_pps, double legit_pps, double capacity_pps) {
+  const double offered = std::max(0.0, attack_pps) + std::max(0.0, legit_pps);
+  if (capacity_pps <= 0.0) return offered > 0.0 ? 1e9 : 0.0;
+  return offered / capacity_pps;
+}
+
+}  // namespace ddos::dns

@@ -1,0 +1,52 @@
+// Queueing model for nameserver behaviour under volumetric load.
+//
+// Each nameserver *site* has a service capacity C (packets/s). Under offered
+// load L (attack share + legitimate traffic + shared-link spillover), the
+// utilisation is rho = L / C and:
+//
+//   * response latency inflates following an M/M/1-shaped law,
+//       multiplier = 1 + kappa * rho / (1 - rho)     (capped),
+//     i.e. negligible below ~50% utilisation, 10-100x near saturation —
+//     matching the paper's empirical split (most attacks harmless, ~5%
+//     causing >=10x, 1/3 of those >=100x; Fig. 8);
+//   * responses start being dropped once rho exceeds a loss onset, with
+//     drop probability rising to (1 - C/L) at/above saturation — producing
+//     the TIMEOUT fractions of Fig. 3 and §6.3.1;
+//   * a small share of overload failures surface as SERVFAIL instead of
+//     timeout (backend distress rather than packet loss), matching the
+//     92%/8% timeout/SERVFAIL split the paper reports.
+//
+// A linear alternative model is provided for the ablation bench
+// (`bench_ablation_models`), which shows the queueing shape — not the
+// attack volume — is what reproduces the paper's heavy-tailed impact
+// distribution.
+#pragma once
+
+namespace ddos::dns {
+
+struct LoadModelParams {
+  double kappa = 0.35;          // queueing inflation gain
+  double max_inflation = 400.0; // cap on the RTT multiplier
+  double loss_onset = 0.90;     // utilisation where drops begin
+  /// Per-attempt share of lost queries surfacing as SERVFAIL instead of
+  /// silence. 0.028 per attempt compounds to ~8% of three-attempt
+  /// resolutions failing with SERVFAIL — the paper's 92%/8% split.
+  double servfail_share = 0.028;
+};
+
+/// Which latency-inflation law to apply (queueing is the paper-shaped
+/// default; linear exists for the ablation study).
+enum class InflationLaw { Queueing, Linear };
+
+/// RTT multiplier (>= 1) as a function of utilisation rho = load/capacity.
+double rtt_multiplier(double rho, const LoadModelParams& params,
+                      InflationLaw law = InflationLaw::Queueing);
+
+/// Probability that a single query receives any response at utilisation rho.
+double response_probability(double rho, const LoadModelParams& params);
+
+/// Utilisation of a server given offered loads (pps) and capacity (pps).
+/// Guards against zero/negative capacity by returning a saturated value.
+double utilisation(double attack_pps, double legit_pps, double capacity_pps);
+
+}  // namespace ddos::dns

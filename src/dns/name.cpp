@@ -1,0 +1,87 @@
+#include "dns/name.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace ddos::dns {
+
+std::optional<DomainName> DomainName::parse(std::string_view name) {
+  if (!name.empty() && name.back() == '.') name.remove_suffix(1);
+  if (name.empty() || name.size() > 253) return std::nullopt;
+  std::string norm = util::to_lower(name);
+  std::size_t label_start = 0;
+  for (std::size_t i = 0; i <= norm.size(); ++i) {
+    if (i == norm.size() || norm[i] == '.') {
+      const std::size_t len = i - label_start;
+      if (len == 0 || len > 63) return std::nullopt;
+      label_start = i + 1;
+    } else {
+      const char c = norm[i];
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                      c == '-' || c == '_';
+      if (!ok) return std::nullopt;
+    }
+  }
+  return DomainName(std::move(norm));
+}
+
+DomainName DomainName::must(std::string_view name) {
+  auto parsed = parse(name);
+  if (!parsed)
+    throw std::invalid_argument("invalid domain name: " + std::string(name));
+  return *parsed;
+}
+
+std::vector<std::string_view> DomainName::labels() const {
+  std::vector<std::string_view> out;
+  std::string_view s = name_;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t pos = s.find('.', start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::size_t DomainName::label_count() const {
+  if (name_.empty()) return 0;
+  std::size_t dots = 0;
+  for (char c : name_)
+    if (c == '.') ++dots;
+  return dots + 1;
+}
+
+std::string_view DomainName::tld() const {
+  const auto pos = name_.rfind('.');
+  if (pos == std::string::npos) return name_;
+  return std::string_view(name_).substr(pos + 1);
+}
+
+DomainName DomainName::registered_domain() const {
+  const auto lbls = labels();
+  if (lbls.size() <= 2) return *this;
+  std::string reg = std::string(lbls[lbls.size() - 2]) + "." +
+                    std::string(lbls[lbls.size() - 1]);
+  return DomainName(std::move(reg));
+}
+
+bool DomainName::is_subdomain_of(const DomainName& ancestor) const {
+  if (name_ == ancestor.name_) return true;
+  if (name_.size() <= ancestor.name_.size() + 1) return false;
+  return util::ends_with(name_, "." + ancestor.name_);
+}
+
+bool DomainName::is_idn() const {
+  for (const auto label : labels()) {
+    if (util::starts_with(label, "xn--")) return true;
+  }
+  return false;
+}
+
+}  // namespace ddos::dns

@@ -1,0 +1,98 @@
+// Resource records, zones, and delegations. The paper's unit of analysis is
+// the delegation: a registered domain and the set of authoritative NS
+// hostnames/IPs serving it. The *NSSet* (§4.1) is the deduplicated set of
+// NS IPv4 addresses shared by one or more domains.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/name.h"
+#include "netsim/ipv4.h"
+
+namespace ddos::dns {
+
+enum class RRType : std::uint16_t {
+  A = 1,
+  NS = 2,
+  CNAME = 5,
+  SOA = 6,
+  AAAA = 28,
+};
+
+std::string to_string(RRType t);
+
+/// Response codes as recorded by the OpenINTEL-style sweeper. TIMEOUT is
+/// not a wire rcode but a measurement outcome; the paper treats it as a
+/// first-class status (§3.2).
+enum class ResponseStatus : std::uint8_t {
+  Ok = 0,
+  ServFail = 1,
+  NxDomain = 2,
+  Timeout = 3,
+};
+
+std::string to_string(ResponseStatus s);
+
+struct ResourceRecord {
+  DomainName owner;
+  RRType type = RRType::A;
+  std::uint32_t ttl = 3600;
+  std::string rdata;  // Presentation form: address or target name.
+};
+
+/// A zone: authoritative data for one apex. Only what the pipeline needs —
+/// NS records at the apex and A records for in-bailiwick nameservers.
+class Zone {
+ public:
+  explicit Zone(DomainName apex);
+
+  const DomainName& apex() const { return apex_; }
+
+  void add(ResourceRecord rr);
+  std::vector<ResourceRecord> find(const DomainName& owner, RRType type) const;
+  const std::vector<ResourceRecord>& all() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  DomainName apex_;
+  std::vector<ResourceRecord> records_;
+};
+
+/// A registered domain's delegation: NS hostnames and their resolved
+/// IPv4 addresses (glue or out-of-bailiwick resolution collapsed —
+/// OpenINTEL stores resolved NS addresses the same way).
+struct Delegation {
+  DomainName domain;
+  std::vector<std::string> ns_names;
+  std::vector<netsim::IPv4Addr> ns_ips;  // deduplicated, sorted
+};
+
+/// Identifier of an NSSet: canonical sorted list of NS IPv4 addresses.
+/// Two domains with the same set of NS IPs share an NSSetKey.
+struct NSSetKey {
+  std::vector<netsim::IPv4Addr> ips;  // sorted, unique
+
+  bool operator==(const NSSetKey&) const = default;
+  /// "1.2.3.4|5.6.7.8" — stable string form for map keys and CSV export.
+  std::string to_string() const;
+
+  static NSSetKey from_ips(std::vector<netsim::IPv4Addr> ips);
+};
+
+}  // namespace ddos::dns
+
+template <>
+struct std::hash<ddos::dns::NSSetKey> {
+  std::size_t operator()(const ddos::dns::NSSetKey& k) const noexcept {
+    std::size_t h = 0xcbf29ce484222325ull;
+    for (const auto& ip : k.ips) {
+      h ^= std::hash<ddos::netsim::IPv4Addr>{}(ip);
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};

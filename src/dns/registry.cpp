@@ -1,0 +1,115 @@
+#include "dns/registry.h"
+
+#include <stdexcept>
+
+namespace ddos::dns {
+
+void DnsRegistry::add_nameserver(Nameserver ns) {
+  nameservers_.insert_or_assign(ns.ip(), std::move(ns));
+}
+
+bool DnsRegistry::has_nameserver(netsim::IPv4Addr ip) const {
+  return nameservers_.contains(ip);
+}
+
+const Nameserver& DnsRegistry::nameserver(netsim::IPv4Addr ip) const {
+  const auto it = nameservers_.find(ip);
+  if (it == nameservers_.end())
+    throw std::out_of_range("DnsRegistry: unknown nameserver " +
+                            ip.to_string());
+  return it->second;
+}
+
+Nameserver& DnsRegistry::mutable_nameserver(netsim::IPv4Addr ip) {
+  const auto it = nameservers_.find(ip);
+  if (it == nameservers_.end())
+    throw std::out_of_range("DnsRegistry: unknown nameserver " +
+                            ip.to_string());
+  return it->second;
+}
+
+DomainId DnsRegistry::add_domain(DomainName name,
+                                 std::vector<netsim::IPv4Addr> ns_ips) {
+  if (ns_ips.empty())
+    throw std::invalid_argument("add_domain: empty nameserver set");
+  NSSetKey key = NSSetKey::from_ips(std::move(ns_ips));
+
+  NssetId nsset_id;
+  const auto it = nsset_index_.find(key);
+  if (it != nsset_index_.end()) {
+    nsset_id = it->second;
+  } else {
+    nsset_id = static_cast<NssetId>(nssets_.size());
+    for (const auto& ip : key.ips) ip_to_nssets_[ip].push_back(nsset_id);
+    nsset_index_.emplace(key, nsset_id);
+    nssets_.push_back(NssetEntry{std::move(key), {}});
+  }
+
+  const auto domain_id = static_cast<DomainId>(domains_.size());
+  domains_.push_back(DomainEntry{std::move(name), nsset_id});
+  nssets_[nsset_id].domains.push_back(domain_id);
+  return domain_id;
+}
+
+const DomainName& DnsRegistry::domain_name(DomainId id) const {
+  return domains_.at(id).name;
+}
+
+NssetId DnsRegistry::nsset_of_domain(DomainId id) const {
+  return domains_.at(id).nsset;
+}
+
+const NSSetKey& DnsRegistry::nsset_key(NssetId id) const {
+  return nssets_.at(id).key;
+}
+
+std::span<const DomainId> DnsRegistry::domains_of_nsset(NssetId id) const {
+  return nssets_.at(id).domains;
+}
+
+std::span<const NssetId> DnsRegistry::nssets_containing(
+    netsim::IPv4Addr ip) const {
+  static const std::vector<NssetId> kEmpty;
+  const auto it = ip_to_nssets_.find(ip);
+  return it == ip_to_nssets_.end() ? std::span<const NssetId>(kEmpty)
+                                   : std::span<const NssetId>(it->second);
+}
+
+std::vector<DomainId> DnsRegistry::domains_of_ns_ip(
+    netsim::IPv4Addr ip) const {
+  std::vector<DomainId> out;
+  for (const NssetId ns : nssets_containing(ip)) {
+    const auto& doms = nssets_[ns].domains;
+    out.insert(out.end(), doms.begin(), doms.end());
+  }
+  return out;
+}
+
+std::uint64_t DnsRegistry::domain_count_of_ns_ip(netsim::IPv4Addr ip) const {
+  std::uint64_t n = 0;
+  for (const NssetId ns : nssets_containing(ip)) {
+    n += nssets_[ns].domains.size();
+  }
+  return n;
+}
+
+std::vector<netsim::IPv4Addr> DnsRegistry::all_ns_ips() const {
+  std::vector<netsim::IPv4Addr> out;
+  out.reserve(ip_to_nssets_.size());
+  for (const auto& [ip, _] : ip_to_nssets_) out.push_back(ip);
+  return out;
+}
+
+bool DnsRegistry::is_ns_ip(netsim::IPv4Addr ip) const {
+  return ip_to_nssets_.contains(ip);
+}
+
+void DnsRegistry::mark_open_resolver(netsim::IPv4Addr ip) {
+  open_resolvers_.insert(ip);
+}
+
+bool DnsRegistry::is_open_resolver(netsim::IPv4Addr ip) const {
+  return open_resolvers_.contains(ip);
+}
+
+}  // namespace ddos::dns

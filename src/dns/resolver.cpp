@@ -1,0 +1,60 @@
+#include "dns/resolver.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ddos::dns {
+
+AgnosticResolver::AgnosticResolver(ResolverParams params)
+    : params_(params) {
+  if (params_.max_attempts < 1)
+    throw std::invalid_argument("AgnosticResolver: max_attempts < 1");
+}
+
+Resolution AgnosticResolver::resolve(
+    netsim::Rng& rng, const std::vector<const Nameserver*>& servers,
+    const std::vector<OfferedLoad>& loads, const LoadModelParams& model,
+    netsim::SimTime when) const {
+  if (servers.empty())
+    throw std::invalid_argument("resolve: empty nameserver set");
+  if (servers.size() != loads.size())
+    throw std::invalid_argument("resolve: servers/loads size mismatch");
+
+  // Agnostic selection: random permutation; first element is the
+  // "chosen" nameserver, the rest are the retry order.
+  std::vector<std::size_t> order(servers.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+
+  Resolution res;
+  if (servers[order[0]]) res.chosen_ns = servers[order[0]]->ip();
+
+  double elapsed_ms = 0.0;
+  for (int a = 0; a < params_.max_attempts; ++a) {
+    // Retries cycle through the permuted set (re-trying earlier servers
+    // when the set is smaller than the attempt budget, as unbound does).
+    const std::size_t idx = order[static_cast<std::size_t>(a) % order.size()];
+    res.attempts = a + 1;
+    if (!servers[idx]) {  // lame entry: nothing answers there
+      elapsed_ms += params_.attempt_timeout_ms;
+      continue;
+    }
+    const QueryOutcome q =
+        servers[idx]->query(rng, loads[idx], model, when, params_.vantage_id,
+                            params_.vantage_country, params_.law);
+    // A response slower than the attempt budget never reaches the
+    // resolver in time — it is a timeout, however the server fared.
+    if (q.responded && q.rtt_ms <= params_.attempt_timeout_ms) {
+      elapsed_ms += q.rtt_ms;
+      res.rtt_ms = elapsed_ms;
+      res.status = q.servfail ? ResponseStatus::ServFail : ResponseStatus::Ok;
+      return res;
+    }
+    elapsed_ms += params_.attempt_timeout_ms;
+  }
+  res.rtt_ms = elapsed_ms;
+  res.status = ResponseStatus::Timeout;
+  return res;
+}
+
+}  // namespace ddos::dns

@@ -1,0 +1,59 @@
+// Agnostic stub resolver, modelling OpenINTEL's unbound configuration
+// (§3.2): for each registered domain's first query, a uniformly random
+// authoritative nameserver is selected; on timeout the resolver retries
+// against other servers of the set. The recorded RTT is the total elapsed
+// time of the resolution, so a retried query surfaces as a large RTT even
+// when it eventually succeeds — which is precisely how attacks appear in
+// the Impact_on_RTT metric.
+#pragma once
+
+#include <vector>
+
+#include "dns/records.h"
+#include "dns/server.h"
+#include "netsim/ipv4.h"
+#include "netsim/rng.h"
+
+namespace ddos::dns {
+
+struct ResolverParams {
+  int max_attempts = 3;        // initial try + retries across the NS set
+  double attempt_timeout_ms = 1500.0;  // per-attempt wait before retrying
+  std::uint64_t vantage_id = 0;        // stable anycast catchment identity
+  std::string vantage_country = "NL";  // OpenINTEL probes from NL (§4.3.1)
+  InflationLaw law = InflationLaw::Queueing;
+};
+
+/// Result of one measured resolution, as OpenINTEL would record it.
+struct Resolution {
+  ResponseStatus status = ResponseStatus::Timeout;
+  double rtt_ms = 0.0;          // total elapsed (includes timed-out attempts)
+  netsim::IPv4Addr chosen_ns;   // the agnostically selected first server
+  int attempts = 0;
+};
+
+/// Stateless resolver engine; all state is in the Rng and arguments so the
+/// sweeper can run millions of resolutions deterministically and in bulk.
+class AgnosticResolver {
+ public:
+  explicit AgnosticResolver(ResolverParams params = {});
+
+  const ResolverParams& params() const { return params_; }
+
+  /// Resolve against a delegation's nameservers at simulated time `when`.
+  /// `servers` and `loads` are parallel arrays (one OfferedLoad per
+  /// nameserver address for the current 5-minute window). Must be
+  /// non-empty. A nullptr server models a *lame* delegation entry — an NS
+  /// record pointing at an address with nothing behind it (Akiwate et al.
+  /// 2020): attempts against it always time out.
+  Resolution resolve(netsim::Rng& rng,
+                     const std::vector<const Nameserver*>& servers,
+                     const std::vector<OfferedLoad>& loads,
+                     const LoadModelParams& model,
+                     netsim::SimTime when = netsim::SimTime(0)) const;
+
+ private:
+  ResolverParams params_;
+};
+
+}  // namespace ddos::dns

@@ -1,0 +1,112 @@
+#include "dns/server.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ddos::dns {
+
+Nameserver::Nameserver(netsim::IPv4Addr ip, std::vector<Site> sites,
+                       std::string hostname)
+    : ip_(ip), sites_(std::move(sites)), hostname_(std::move(hostname)) {
+  if (sites_.empty())
+    throw std::invalid_argument("Nameserver: at least one site required");
+  for (const auto& s : sites_) {
+    if (s.catchment_weight < 0.0)
+      throw std::invalid_argument("Nameserver: negative catchment weight");
+    total_catchment_ += s.catchment_weight;
+  }
+  if (total_catchment_ <= 0.0)
+    throw std::invalid_argument("Nameserver: zero total catchment");
+}
+
+std::size_t Nameserver::vantage_site(std::uint64_t vantage_id) const {
+  if (sites_.size() == 1) return 0;
+  // Stable hash of (ip, vantage) into the catchment-weighted site choice.
+  const std::uint64_t h =
+      netsim::mix64(static_cast<std::uint64_t>(ip_.value()) << 32 | vantage_id);
+  double r = static_cast<double>(h >> 11) * 0x1.0p-53 * total_catchment_;
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (r < sites_[i].catchment_weight) return i;
+    r -= sites_[i].catchment_weight;
+  }
+  return sites_.size() - 1;
+}
+
+double Nameserver::site_utilisation(std::size_t site_idx,
+                                    const OfferedLoad& load,
+                                    const LoadModelParams& /*params*/) const {
+  const Site& site = sites_.at(site_idx);
+  const double share = site.catchment_weight / total_catchment_;
+  return utilisation(load.attack_pps * share, legit_pps_ * share,
+                     site.capacity_pps);
+}
+
+void Nameserver::set_geofence_interval(netsim::SimTime from,
+                                       netsim::SimTime until) {
+  geofence_from_ = from;
+  geofence_until_ = until;
+}
+
+void Nameserver::add_blackhole_interval(netsim::SimTime from,
+                                        netsim::SimTime until) {
+  if (from < until) blackholes_.emplace_back(from, until);
+}
+
+bool Nameserver::blackholed_at(netsim::SimTime when) const {
+  for (const auto& [from, until] : blackholes_) {
+    if (when >= from && when < until) return true;
+  }
+  return false;
+}
+
+QueryOutcome Nameserver::query(netsim::Rng& rng, const OfferedLoad& load,
+                               const LoadModelParams& params,
+                               netsim::SimTime when, std::uint64_t vantage_id,
+                               const std::string& vantage_country,
+                               InflationLaw law) const {
+  QueryOutcome out;
+  if (blackholed_at(when)) {
+    return out;  // Null-routed upstream: nothing reaches the server.
+  }
+  if (geofenced_at(when) && vantage_country != home_country_) {
+    return out;  // Silently dropped at the border: pure timeout.
+  }
+  const std::size_t sidx = vantage_site(vantage_id);
+  const Site& site = sites_[sidx];
+  const double rho = site_utilisation(sidx, load, params);
+
+  // Server queue and shared upstream link act in series.
+  const double p_server = response_probability(rho, params);
+  const double p_link = response_probability(load.link_utilisation, params);
+  const double mult_server = rtt_multiplier(rho, params, law);
+  const double mult_link = rtt_multiplier(load.link_utilisation, params, law);
+  const double mult = std::min(params.max_inflation, mult_server * mult_link);
+  // Log-normal latency jitter. Dispersion grows with load: an idle server
+  // answers within a few percent of its base RTT, a near-saturated one has
+  // enormous queue-position variance. (This is also what lets *some*
+  // queries to a distressed server beat the resolver's timeout while
+  // others do not — the paper's partial-failure regimes.)
+  const double stress = std::min(1.0, std::max(rho, load.link_utilisation));
+  const double sigma = 0.08 + 0.45 * stress;
+  const double jitter = rng.lognormal(0.0, sigma);
+  const double rtt = site.base_rtt_ms * mult * jitter;
+
+  if (!rng.chance(p_server * p_link)) {
+    // Distressed path: most lost queries manifest as resolver timeouts, a
+    // small share get an explicit SERVFAIL back (backend overload), which
+    // is how the paper's 92%/8% timeout/SERVFAIL failure split arises.
+    // SERVFAILs are generated fast — an error path, not a queued answer.
+    if (rng.chance(params.servfail_share)) {
+      out.responded = true;
+      out.servfail = true;
+      out.rtt_ms = site.base_rtt_ms * rng.uniform(0.8, 3.0);
+    }
+    return out;
+  }
+
+  out.responded = true;
+  out.rtt_ms = rtt;
+  return out;
+}
+
+}  // namespace ddos::dns

@@ -1,0 +1,114 @@
+// Authoritative nameserver model.
+//
+// A nameserver is one IPv4 service address backed by one site (unicast) or
+// many sites sharing the address via IP anycast (§2.2). Attack traffic
+// arriving at the address is spread across sites proportionally to their
+// catchment weight (randomly spoofed attack sources are uniformly spread
+// over the Internet, so each site absorbs its catchment share); a
+// measurement vantage point is always routed to one stable site — exactly
+// why, in the paper, anycast deployments shrug off attacks and a single
+// vantage can under-observe them (§4.3).
+//
+// Shared-infrastructure coupling: nameservers on the same /24 typically sit
+// behind the same upstream links (§5.2.3, mil.ru). Callers express that as a
+// `link_utilisation` on the OfferedLoad; the link acts as a queue in series
+// with the server.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dns/load_model.h"
+#include "netsim/ipv4.h"
+#include "netsim/rng.h"
+#include "netsim/simtime.h"
+
+namespace ddos::dns {
+
+/// One physical deployment location of a nameserver address.
+struct Site {
+  std::string location;         // e.g. "AMS", "FRA" — informational
+  double capacity_pps = 50e3;   // service capacity in packets/s
+  double base_rtt_ms = 20.0;    // RTT from the measurement vantage
+  double catchment_weight = 1.0;
+};
+
+/// Loads offered to a nameserver address during one 5-minute window.
+struct OfferedLoad {
+  double attack_pps = 0.0;       // spoofed flood arriving at this address
+  double link_utilisation = 0.0; // shared upstream /24 utilisation (rho)
+};
+
+/// Outcome of a single query attempt against one nameserver.
+struct QueryOutcome {
+  bool responded = false;
+  bool servfail = false;  // responded, but with SERVFAIL
+  double rtt_ms = 0.0;    // valid when responded
+};
+
+class Nameserver {
+ public:
+  /// `sites` must be non-empty. A single site models unicast; multiple
+  /// sites model an anycast deployment.
+  Nameserver(netsim::IPv4Addr ip, std::vector<Site> sites,
+             std::string hostname = {});
+
+  netsim::IPv4Addr ip() const { return ip_; }
+  const std::string& hostname() const { return hostname_; }
+  const std::vector<Site>& sites() const { return sites_; }
+  bool anycast() const { return sites_.size() > 1; }
+
+  /// Baseline legitimate query load (pps) across the whole deployment.
+  void set_legit_pps(double pps) { legit_pps_ = pps; }
+  double legit_pps() const { return legit_pps_; }
+
+  /// Geofencing (§5.2.1): during [from, until), queries from vantages
+  /// outside `home_country` receive no answer regardless of load — the
+  /// mil.ru defence of March 2022.
+  void set_home_country(std::string cc) { home_country_ = std::move(cc); }
+  const std::string& home_country() const { return home_country_; }
+  void set_geofence_interval(netsim::SimTime from, netsim::SimTime until);
+  bool geofenced_at(netsim::SimTime when) const {
+    return geofence_from_ < geofence_until_ && when >= geofence_from_ &&
+           when < geofence_until_;
+  }
+
+  /// Remote-triggered blackholing (Jonker et al., IMC 2018): during
+  /// [from, until) the address is null-routed upstream — unreachable to
+  /// *everyone*, attacker and clients alike (the self-inflicted outage
+  /// that trades availability for survival). Intervals accumulate.
+  void add_blackhole_interval(netsim::SimTime from, netsim::SimTime until);
+  bool blackholed_at(netsim::SimTime when) const;
+
+  /// Index of the site serving a given vantage. Catchment is stable:
+  /// derived deterministically from (ip, vantage id), not sampled per query.
+  std::size_t vantage_site(std::uint64_t vantage_id) const;
+
+  /// Utilisation of site `site_idx` under `load` (attack spread by
+  /// catchment weight, legit load likewise).
+  double site_utilisation(std::size_t site_idx, const OfferedLoad& load,
+                          const LoadModelParams& params) const;
+
+  /// One query attempt from a vantage at simulated time `when`.
+  /// Deterministic given the Rng state.
+  QueryOutcome query(netsim::Rng& rng, const OfferedLoad& load,
+                     const LoadModelParams& params,
+                     netsim::SimTime when = netsim::SimTime(0),
+                     std::uint64_t vantage_id = 0,
+                     const std::string& vantage_country = "NL",
+                     InflationLaw law = InflationLaw::Queueing) const;
+
+ private:
+  netsim::IPv4Addr ip_;
+  std::vector<Site> sites_;
+  std::string hostname_;
+  double legit_pps_ = 1000.0;
+  std::string home_country_ = "NL";
+  netsim::SimTime geofence_from_{0};
+  netsim::SimTime geofence_until_{0};
+  std::vector<std::pair<netsim::SimTime, netsim::SimTime>> blackholes_;
+  double total_catchment_ = 0.0;
+};
+
+}  // namespace ddos::dns

@@ -1,0 +1,131 @@
+#include "dns/zonefile.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace ddos::dns {
+
+namespace {
+
+// Dots in the address become dashes so the host is one label deep.
+std::string lame_host_for(netsim::IPv4Addr ip) {
+  std::string out = "ns-";
+  for (const char c : ip.to_string()) out.push_back(c == '.' ? '-' : c);
+  return out + ".lame.invalid";
+}
+
+}  // namespace
+
+std::string export_zone_file(const DnsRegistry& registry,
+                             std::string_view tld) {
+  std::ostringstream out;
+  out << "; zone export for ." << tld << " (delegations + glue)\n";
+
+  // Collect glue as host -> addresses while writing NS records.
+  std::map<std::string, std::vector<netsim::IPv4Addr>> glue;
+  for (DomainId d = registry.first_domain(); d < registry.end_domain(); ++d) {
+    const DomainName& name = registry.domain_name(d);
+    if (name.tld() != tld) continue;
+    const auto& key = registry.nsset_key(registry.nsset_of_domain(d));
+    for (const auto& ip : key.ips) {
+      std::string host;
+      if (registry.has_nameserver(ip) &&
+          !registry.nameserver(ip).hostname().empty()) {
+        host = registry.nameserver(ip).hostname();
+      } else {
+        host = lame_host_for(ip);
+      }
+      out << name.str() << ". 3600 IN NS " << host << ".\n";
+      auto& addrs = glue[host];
+      if (std::find(addrs.begin(), addrs.end(), ip) == addrs.end()) {
+        addrs.push_back(ip);
+      }
+    }
+  }
+  for (const auto& [host, addrs] : glue) {
+    for (const auto& ip : addrs) {
+      out << host << ". 3600 IN A " << ip.to_string() << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::optional<ParsedZone> parse_zone_file(std::string_view text) {
+  ParsedZone zone;
+  std::map<std::string, std::size_t> delegation_index;
+
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = util::trim(text.substr(start, end - start));
+    start = end + 1;
+    if (line.empty() || line.front() == ';') {
+      if (end == text.size()) break;
+      continue;
+    }
+
+    // <owner>. <ttl> IN <type> <rdata>
+    std::vector<std::string_view> fields;
+    std::size_t fstart = 0;
+    while (fstart < line.size()) {
+      while (fstart < line.size() && line[fstart] == ' ') ++fstart;
+      std::size_t fend = line.find(' ', fstart);
+      if (fend == std::string_view::npos) fend = line.size();
+      if (fend > fstart) fields.push_back(line.substr(fstart, fend - fstart));
+      fstart = fend + 1;
+    }
+    if (fields.size() != 5) return std::nullopt;
+    std::uint64_t ttl = 0;
+    if (!util::parse_u64(fields[1], ttl)) return std::nullopt;
+    if (!util::iequals(fields[2], "IN")) return std::nullopt;
+
+    const auto owner = DomainName::parse(fields[0]);
+    if (!owner) return std::nullopt;
+
+    if (util::iequals(fields[3], "NS")) {
+      auto host_name = DomainName::parse(fields[4]);
+      if (!host_name) return std::nullopt;
+      const std::string host = host_name->str();
+      const auto it = delegation_index.find(owner->str());
+      if (it == delegation_index.end()) {
+        delegation_index[owner->str()] = zone.delegations.size();
+        zone.delegations.push_back(
+            ParsedZone::ZoneDelegation{*owner, {host}});
+      } else {
+        zone.delegations[it->second].ns_hosts.push_back(host);
+      }
+    } else if (util::iequals(fields[3], "A")) {
+      const auto addr = netsim::IPv4Addr::parse(fields[4]);
+      if (!addr) return std::nullopt;
+      zone.glue[owner->str()].push_back(*addr);
+    } else {
+      return std::nullopt;  // outside the supported subset
+    }
+    if (end == text.size()) break;
+  }
+  return zone;
+}
+
+std::vector<std::pair<DomainName, std::vector<netsim::IPv4Addr>>>
+ParsedZone::resolved_delegations() const {
+  std::vector<std::pair<DomainName, std::vector<netsim::IPv4Addr>>> out;
+  out.reserve(delegations.size());
+  for (const auto& delegation : delegations) {
+    std::vector<netsim::IPv4Addr> ips;
+    for (const auto& host : delegation.ns_hosts) {
+      const auto it = glue.find(host);
+      if (it == glue.end()) continue;
+      ips.insert(ips.end(), it->second.begin(), it->second.end());
+    }
+    std::sort(ips.begin(), ips.end());
+    ips.erase(std::unique(ips.begin(), ips.end()), ips.end());
+    out.emplace_back(delegation.domain, std::move(ips));
+  }
+  return out;
+}
+
+}  // namespace ddos::dns

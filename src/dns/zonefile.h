@@ -1,0 +1,56 @@
+// Parent-zone file export/import — the CZDS input stage (§3.2).
+//
+// OpenINTEL learns *which* domains exist from TLD zone files (ICANN's
+// Centralized Zone Data Service plus legacy gTLD and ccTLD feeds): for
+// each registered domain the parent zone carries its NS delegations and
+// in-bailiwick glue A records. This module round-trips that format so the
+// measured universe can be exported, inspected, diffed, and re-imported —
+// what the production system does nightly.
+//
+// Format (master-file subset): one record per line,
+//   <owner>. <ttl> IN NS <nsdname>.
+//   <owner>. <ttl> IN A  <address>
+// with ';' comments and blank lines ignored.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/registry.h"
+#include "netsim/ipv4.h"
+
+namespace ddos::dns {
+
+/// Export every registry domain whose TLD matches `tld` as a parent-zone
+/// file: NS records per delegation plus glue A records for every
+/// referenced nameserver host. Lame entries (no registered server) get a
+/// synthesised host under lame.invalid, as stale zones do.
+std::string export_zone_file(const DnsRegistry& registry,
+                             std::string_view tld);
+
+struct ParsedZone {
+  struct ZoneDelegation {
+    DomainName domain;
+    std::vector<std::string> ns_hosts;
+  };
+  std::vector<ZoneDelegation> delegations;
+  /// Glue: nameserver host -> A records.
+  std::unordered_map<std::string, std::vector<netsim::IPv4Addr>> glue;
+
+  /// Join delegations with glue: (domain, sorted unique NS IPv4s).
+  /// Hosts without glue contribute nothing (out-of-bailiwick servers are
+  /// resolved separately in production; absent here).
+  std::vector<std::pair<DomainName, std::vector<netsim::IPv4Addr>>>
+  resolved_delegations() const;
+};
+
+/// Parse a zone file produced by export_zone_file (or hand-written in the
+/// same subset). Returns nullopt if any non-comment line is malformed.
+std::optional<ParsedZone> parse_zone_file(std::string_view text);
+
+}  // namespace ddos::dns

@@ -1,0 +1,31 @@
+// The unit record produced by the active measurement platform: one
+// NS-query resolution of one registered domain, with the fields OpenINTEL
+// stores (§3.2) — timestamp, RTT, response status — plus the compact ids
+// our pipeline joins on.
+#pragma once
+
+#include "dns/records.h"
+#include "dns/registry.h"
+#include "netsim/ipv4.h"
+#include "netsim/simtime.h"
+
+namespace ddos::openintel {
+
+struct Measurement {
+  netsim::SimTime time;
+  dns::DomainId domain = 0;
+  dns::NssetId nsset = dns::kInvalidNsset;
+  dns::ResponseStatus status = dns::ResponseStatus::Timeout;
+  double rtt_ms = 0.0;
+  /// The agnostically chosen first nameserver (unbound's random pick);
+  /// the platform cannot know which server finally answered (§3.2), but it
+  /// does know which address it addressed first.
+  netsim::IPv4Addr chosen_ns;
+
+  bool answered() const {
+    return status == dns::ResponseStatus::Ok ||
+           status == dns::ResponseStatus::ServFail;
+  }
+};
+
+}  // namespace ddos::openintel

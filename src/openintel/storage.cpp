@@ -1,0 +1,94 @@
+#include "openintel/storage.h"
+
+namespace ddos::openintel {
+
+void Aggregate::fold(const Measurement& m) {
+  ++measured;
+  switch (m.status) {
+    case dns::ResponseStatus::Ok:
+      ++ok;
+      rtt.add(m.rtt_ms);
+      break;
+    case dns::ResponseStatus::ServFail:
+      ++servfail;
+      rtt.add(m.rtt_ms);
+      break;
+    case dns::ResponseStatus::Timeout:
+      ++timeout;
+      break;
+    case dns::ResponseStatus::NxDomain:
+      // Not an infrastructure failure; counted as measured only.
+      break;
+  }
+}
+
+void Aggregate::merge(const Aggregate& other) {
+  measured += other.measured;
+  ok += other.ok;
+  timeout += other.timeout;
+  servfail += other.servfail;
+  rtt.merge(other.rtt);
+}
+
+void MeasurementStore::add(const Measurement& m) {
+  ++total_;
+  const netsim::DayIndex day = m.time.day();
+  const netsim::WindowIndex window = m.time.window();
+  if (!daily_keep_ || daily_keep_(m.nsset, day)) {
+    daily_[day_key(m.nsset, day)].fold(m);
+  }
+  if (!window_keep_ || window_keep_(m.nsset, window)) {
+    window_[window_key(m.nsset, window)].fold(m);
+  }
+  if (m.answered() && (!ns_seen_keep_ || ns_seen_keep_(m.chosen_ns, day))) {
+    ns_seen_[day].insert(m.chosen_ns);
+  }
+}
+
+const Aggregate* MeasurementStore::daily(dns::NssetId nsset,
+                                         netsim::DayIndex day) const {
+  const auto it = daily_.find(day_key(nsset, day));
+  return it == daily_.end() ? nullptr : &it->second;
+}
+
+double MeasurementStore::daily_avg_rtt(dns::NssetId nsset,
+                                       netsim::DayIndex day) const {
+  const Aggregate* agg = daily(nsset, day);
+  return agg ? agg->avg_rtt() : 0.0;
+}
+
+const Aggregate* MeasurementStore::window(dns::NssetId nsset,
+                                          netsim::WindowIndex window) const {
+  const auto it = window_.find(window_key(nsset, window));
+  return it == window_.end() ? nullptr : &it->second;
+}
+
+bool MeasurementStore::ns_seen_on(netsim::IPv4Addr ns,
+                                  netsim::DayIndex day) const {
+  const auto it = ns_seen_.find(day);
+  return it != ns_seen_.end() && it->second.contains(ns);
+}
+
+std::size_t MeasurementStore::ns_seen_count(netsim::DayIndex day) const {
+  const auto it = ns_seen_.find(day);
+  return it == ns_seen_.end() ? 0 : it->second.size();
+}
+
+void MeasurementStore::finalize_day(
+    netsim::DayIndex day,
+    const std::function<bool(dns::NssetId, netsim::WindowIndex)>& keep) {
+  const netsim::WindowIndex first = day * netsim::kWindowsPerDay;
+  const netsim::WindowIndex last = first + netsim::kWindowsPerDay - 1;
+  for (auto it = window_.begin(); it != window_.end();) {
+    const auto nsset = static_cast<dns::NssetId>(it->first >> 32);
+    const auto window =
+        static_cast<netsim::WindowIndex>(static_cast<std::uint32_t>(it->first));
+    if (window >= first && window <= last && !keep(nsset, window)) {
+      it = window_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace ddos::openintel

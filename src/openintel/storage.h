@@ -1,0 +1,113 @@
+// MeasurementStore — streaming aggregation of sweeper output into the two
+// granularities the paper's method needs (§4.1):
+//
+//   * per-(NSSet, day) aggregates — the previous-day RTT baseline in the
+//     Impact_on_RTT denominator, and the per-day nameserver-seen sets used
+//     by the previous-day join (§4.2);
+//   * per-(NSSet, 5-minute-window) aggregates — domains measured, mean /
+//     min / max RTT, and error counts (timeout, SERVFAIL), the numerator.
+//
+// Raw measurements are never retained: a 17-month sweep of a few hundred
+// thousand domains produces ~10^8 records, so the store folds each into
+// O(1) state on ingest. Window-level state for quiet periods is pruned by
+// `finalize_day` with a caller-supplied keep-predicate (the longitudinal
+// driver keeps only windows overlapping inferred attacks).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "openintel/measurement.h"
+#include "util/stats.h"
+
+namespace ddos::openintel {
+
+struct Aggregate {
+  std::uint32_t measured = 0;   // resolutions attempted
+  std::uint32_t ok = 0;
+  std::uint32_t timeout = 0;
+  std::uint32_t servfail = 0;
+  util::RunningStats rtt;       // over answered queries (OK + SERVFAIL)
+
+  std::uint32_t errors() const { return timeout + servfail; }
+  double failure_rate() const {
+    return measured ? static_cast<double>(errors()) / measured : 0.0;
+  }
+  double avg_rtt() const { return rtt.mean(); }
+
+  void fold(const Measurement& m);
+  void merge(const Aggregate& other);
+};
+
+class MeasurementStore {
+ public:
+  /// Retention predicates for long runs. When set, add() only folds state
+  /// the predicate accepts; unset (default) keeps everything. The
+  /// longitudinal driver derives these from the attack schedule: daily
+  /// baselines for attack-adjacent days, window aggregates inside attack
+  /// windows, seen-NS sets for days preceding an attack on that server.
+  using DailyKeep = std::function<bool(dns::NssetId, netsim::DayIndex)>;
+  using WindowKeep = std::function<bool(dns::NssetId, netsim::WindowIndex)>;
+  using NsSeenKeep = std::function<bool(netsim::IPv4Addr, netsim::DayIndex)>;
+
+  void set_retention(DailyKeep daily_keep, WindowKeep window_keep,
+                     NsSeenKeep ns_seen_keep) {
+    daily_keep_ = std::move(daily_keep);
+    window_keep_ = std::move(window_keep);
+    ns_seen_keep_ = std::move(ns_seen_keep);
+  }
+
+  /// Ingest one measurement (updates daily, window and seen-NS state).
+  void add(const Measurement& m);
+
+  /// Daily aggregate for (nsset, day); nullptr when nothing measured.
+  const Aggregate* daily(dns::NssetId nsset, netsim::DayIndex day) const;
+  /// Convenience: previous-day average RTT, 0.0 when absent.
+  double daily_avg_rtt(dns::NssetId nsset, netsim::DayIndex day) const;
+
+  /// Window aggregate for (nsset, window); nullptr when nothing measured
+  /// or pruned by finalize_day.
+  const Aggregate* window(dns::NssetId nsset,
+                          netsim::WindowIndex window) const;
+
+  /// Was `ns` successfully queried (answered at least once as the chosen
+  /// server) on `day`? Drives the previous-day nameserver join.
+  bool ns_seen_on(netsim::IPv4Addr ns, netsim::DayIndex day) const;
+  std::size_t ns_seen_count(netsim::DayIndex day) const;
+
+  /// Prune window aggregates of `day` that the predicate rejects. Call
+  /// after each swept day in long runs to bound memory.
+  void finalize_day(netsim::DayIndex day,
+                    const std::function<bool(dns::NssetId,
+                                             netsim::WindowIndex)>& keep);
+
+  std::size_t window_entries() const { return window_.size(); }
+  std::size_t daily_entries() const { return daily_.size(); }
+  std::uint64_t total_measurements() const { return total_; }
+
+ private:
+  static std::uint64_t day_key(dns::NssetId nsset, netsim::DayIndex day) {
+    return (static_cast<std::uint64_t>(nsset) << 32) |
+           static_cast<std::uint32_t>(day);
+  }
+  static std::uint64_t window_key(dns::NssetId nsset,
+                                  netsim::WindowIndex window) {
+    return (static_cast<std::uint64_t>(nsset) << 32) |
+           static_cast<std::uint32_t>(window);
+  }
+
+  DailyKeep daily_keep_;
+  WindowKeep window_keep_;
+  NsSeenKeep ns_seen_keep_;
+  std::unordered_map<std::uint64_t, Aggregate> daily_;
+  std::unordered_map<std::uint64_t, Aggregate> window_;
+  std::unordered_map<netsim::DayIndex,
+                     std::unordered_set<netsim::IPv4Addr>>
+      ns_seen_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ddos::openintel

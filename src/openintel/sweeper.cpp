@@ -1,0 +1,103 @@
+#include "openintel/sweeper.h"
+
+namespace ddos::openintel {
+
+Sweeper::Sweeper(const dns::DnsRegistry& registry,
+                 const attack::AttackSchedule& schedule, SweeperParams params)
+    : registry_(registry),
+      schedule_(schedule),
+      params_(params),
+      resolver_(params.resolver) {}
+
+netsim::SimTime Sweeper::measurement_time(dns::DomainId domain,
+                                          netsim::DayIndex day) const {
+  // Stable hash of (seed, domain, day) -> second of day.
+  const std::uint64_t h = netsim::mix64(
+      params_.seed ^ (static_cast<std::uint64_t>(domain) << 32) ^
+      static_cast<std::uint64_t>(day) * 0x9E3779B97F4A7C15ull);
+  const auto sod = static_cast<std::int64_t>(h % netsim::kSecondsPerDay);
+  return netsim::day_start(day) + sod;
+}
+
+Measurement Sweeper::measure(dns::DomainId domain, netsim::SimTime t) const {
+  return measure_with_salt(domain, t, 0);
+}
+
+std::vector<Sweeper::NsOutcome> Sweeper::measure_exhaustive(
+    dns::DomainId domain, netsim::SimTime t) const {
+  const dns::NssetId nsset = registry_.nsset_of_domain(domain);
+  const auto& key = registry_.nsset_key(nsset);
+  const netsim::WindowIndex window = t.window();
+
+  std::vector<NsOutcome> out;
+  out.reserve(key.ips.size());
+  for (const auto& ip : key.ips) {
+    if (!registry_.has_nameserver(ip)) {  // lame: permanent timeout
+      NsOutcome lame;
+      lame.ns = ip;
+      out.push_back(lame);
+      continue;
+    }
+    netsim::Rng rng(netsim::mix64(
+        params_.seed ^ netsim::mix64(static_cast<std::uint64_t>(domain)) ^
+        netsim::mix64(static_cast<std::uint64_t>(t.seconds())) ^
+        netsim::mix64(ip.value() * 0xA24BAED4ull)));
+    const dns::Nameserver& ns = registry_.nameserver(ip);
+    const dns::OfferedLoad load{
+        schedule_.attack_pps_at(ip, window),
+        schedule_.link_utilisation_at(ip, window),
+    };
+    const dns::QueryOutcome q =
+        ns.query(rng, load, params_.model, t, params_.resolver.vantage_id,
+                 params_.resolver.vantage_country, params_.resolver.law);
+    NsOutcome outcome;
+    outcome.ns = ip;
+    if (q.responded && q.rtt_ms <= params_.resolver.attempt_timeout_ms) {
+      outcome.status = q.servfail ? dns::ResponseStatus::ServFail
+                                  : dns::ResponseStatus::Ok;
+      outcome.rtt_ms = q.rtt_ms;
+    }
+    out.push_back(outcome);
+  }
+  return out;
+}
+
+Measurement Sweeper::measure_with_salt(dns::DomainId domain, netsim::SimTime t,
+                                       std::uint64_t salt) const {
+  const dns::NssetId nsset = registry_.nsset_of_domain(domain);
+  const auto& key = registry_.nsset_key(nsset);
+  const netsim::WindowIndex window = t.window();
+
+  std::vector<const dns::Nameserver*> servers;
+  std::vector<dns::OfferedLoad> loads;
+  servers.reserve(key.ips.size());
+  loads.reserve(key.ips.size());
+  for (const auto& ip : key.ips) {
+    servers.push_back(registry_.has_nameserver(ip) ? &registry_.nameserver(ip)
+                                                   : nullptr);  // lame entry
+    loads.push_back(dns::OfferedLoad{
+        schedule_.attack_pps_at(ip, window),
+        schedule_.link_utilisation_at(ip, window),
+    });
+  }
+
+  // Per-measurement RNG stream: independent of sweep order.
+  netsim::Rng rng(netsim::mix64(
+      params_.seed ^ netsim::mix64(static_cast<std::uint64_t>(domain)) ^
+      netsim::mix64(static_cast<std::uint64_t>(t.seconds())) ^
+      netsim::mix64(salt + 0x5bd1e995u)));
+
+  const dns::Resolution res =
+      resolver_.resolve(rng, servers, loads, params_.model, t);
+
+  Measurement m;
+  m.time = t;
+  m.domain = domain;
+  m.nsset = nsset;
+  m.status = res.status;
+  m.rtt_ms = res.rtt_ms;
+  m.chosen_ns = res.chosen_ns;
+  return m;
+}
+
+}  // namespace ddos::openintel

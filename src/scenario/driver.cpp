@@ -1,0 +1,121 @@
+#include "scenario/driver.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace ddos::scenario {
+
+LongitudinalConfig default_longitudinal_config() {
+  LongitudinalConfig cfg;
+  cfg.workload.model = cfg.model;
+  return cfg;
+}
+
+LongitudinalConfig small_longitudinal_config(std::uint64_t seed) {
+  LongitudinalConfig cfg;
+  cfg.world = small_world_params(seed);
+  cfg.workload.seed = seed ^ 0x1234;
+  cfg.workload.scale = 400.0;
+  cfg.workload.model = cfg.model;
+  cfg.sweep_seed = seed ^ 0x77;
+  cfg.feed_seed = seed ^ 0x99;
+  return cfg;
+}
+
+LongitudinalResult run_longitudinal(const LongitudinalConfig& config) {
+  LongitudinalResult result;
+  result.world = build_world(config.world);
+  const World& world = *result.world;
+
+  result.workload = generate_workload(world, config.workload);
+
+  // Telescope: observe backscatter, infer the feed, stitch events.
+  result.feed = telescope::RSDoSFeed(config.inference, config.backscatter);
+  result.feed.ingest(result.workload.schedule, result.darknet,
+                     config.feed_seed);
+  result.events = result.feed.events();
+
+  // ---- Derive sweep/retention sets from the inferred events.
+  std::unordered_set<std::uint64_t> daily_keys;    // (nsset, day)
+  std::unordered_set<std::uint64_t> window_keys;   // (nsset, window)
+  std::unordered_set<std::uint64_t> ns_seen_keys;  // (ip, day)
+  std::map<netsim::DayIndex, std::unordered_set<dns::DomainId>> sweep_plan;
+
+  const auto daily_key = [](dns::NssetId nsset, netsim::DayIndex day) {
+    return (static_cast<std::uint64_t>(nsset) << 32) |
+           static_cast<std::uint32_t>(day);
+  };
+  const auto window_key = [](dns::NssetId nsset, netsim::WindowIndex w) {
+    return (static_cast<std::uint64_t>(nsset) << 32) |
+           static_cast<std::uint32_t>(w);
+  };
+  const auto ns_key = [](netsim::IPv4Addr ip, netsim::DayIndex day) {
+    return (static_cast<std::uint64_t>(ip.value()) << 32) |
+           static_cast<std::uint32_t>(day);
+  };
+
+  for (const auto& ev : result.events) {
+    if (!world.registry.is_ns_ip(ev.victim)) continue;
+    const netsim::DayIndex first_day = ev.start_time().day();
+    const netsim::DayIndex last_day = (ev.end_time() - 1).day();
+    ns_seen_keys.insert(ns_key(ev.victim, first_day - 1));
+    // Also retain the attack day's own sighting so the same-day-join
+    // ablation measures the method, not the retention policy.
+    ns_seen_keys.insert(ns_key(ev.victim, first_day));
+    for (const dns::NssetId nsset :
+         world.registry.nssets_containing(ev.victim)) {
+      daily_keys.insert(daily_key(nsset, first_day - 1));
+      for (netsim::WindowIndex w = ev.start_window; w <= ev.end_window; ++w) {
+        window_keys.insert(window_key(nsset, w));
+      }
+      const auto domains = world.registry.domains_of_nsset(nsset);
+      for (netsim::DayIndex d = first_day - 1; d <= last_day; ++d) {
+        auto& day_set = sweep_plan[d];
+        day_set.insert(domains.begin(), domains.end());
+      }
+    }
+  }
+
+  result.store.set_retention(
+      [&daily_keys, daily_key](dns::NssetId nsset, netsim::DayIndex day) {
+        return daily_keys.contains(daily_key(nsset, day));
+      },
+      [&window_keys, window_key](dns::NssetId nsset, netsim::WindowIndex w) {
+        return window_keys.contains(window_key(nsset, w));
+      },
+      [&ns_seen_keys, ns_key](netsim::IPv4Addr ip, netsim::DayIndex day) {
+        return ns_seen_keys.contains(ns_key(ip, day));
+      });
+
+  // ---- Sparse sweep.
+  openintel::SweeperParams sp;
+  sp.resolver = config.resolver;
+  sp.model = config.model;
+  sp.seed = config.sweep_seed;
+  const openintel::Sweeper sweeper(world.registry, result.workload.schedule,
+                                   sp);
+  std::vector<dns::DomainId> day_domains;
+  for (const auto& [day, domains] : sweep_plan) {
+    day_domains.assign(domains.begin(), domains.end());
+    std::sort(day_domains.begin(), day_domains.end());
+    sweeper.sweep_domains(day, day_domains,
+                          [&result](const openintel::Measurement& m) {
+                            result.store.add(m);
+                            ++result.swept_measurements;
+                          });
+  }
+  // Drop the retention closures: the key sets above go out of scope here.
+  result.store.set_retention(nullptr, nullptr, nullptr);
+
+  // ---- Join.
+  const core::ResilienceClassifier classifier(world.registry, world.census,
+                                              world.routes, world.orgs);
+  core::JoinPipeline pipeline(world.registry, result.store, classifier,
+                              config.join);
+  result.joined = pipeline.run(result.events);
+  result.join_stats = pipeline.stats();
+  return result;
+}
+
+}  // namespace ddos::scenario

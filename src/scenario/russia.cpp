@@ -1,0 +1,235 @@
+#include "scenario/russia.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "attack/schedule.h"
+#include "dns/registry.h"
+#include "openintel/storage.h"
+#include "openintel/sweeper.h"
+#include "telescope/darknet.h"
+#include "telescope/feed.h"
+
+namespace ddos::scenario {
+
+namespace {
+
+using netsim::IPv4Addr;
+using netsim::SimTime;
+
+// mil.ru: three nameservers on ONE /24 (the §5.2.3 anti-pattern).
+const IPv4Addr kMilNs1(77, 20, 5, 10);
+const IPv4Addr kMilNs2(77, 20, 5, 11);
+const IPv4Addr kMilNs3(77, 20, 5, 12);
+// rzd.ru: three nameservers on TWO /24s.
+const IPv4Addr kRdzNs1(77, 30, 1, 10);
+const IPv4Addr kRdzNs2(77, 30, 1, 11);
+const IPv4Addr kRdzNs3(77, 30, 2, 10);
+
+constexpr double kMilCapacity = 40e3;
+constexpr double kMilSharedLink = 137e3;  // the /24's shared upstream
+constexpr double kRdzCapacity = 45e3;
+constexpr double kBaseRttRu = 50.0;  // Moscow from the NL vantage
+
+struct Setup {
+  dns::DnsRegistry registry;
+  attack::AttackSchedule schedule;
+  SimTime mil_start, mil_end, geo_start, geo_end;
+  SimTime rdz_start, rdz_end, rdz_residual_end;
+};
+
+void build_setup(Setup& s, const RussiaParams& params) {
+  netsim::Rng rng(params.seed);
+
+  const auto add_ns = [&](IPv4Addr ip, double capacity, const char* host) {
+    dns::Nameserver ns(ip, {dns::Site{"MOW", capacity, kBaseRttRu, 1.0}},
+                       host);
+    ns.set_legit_pps(1.5e3);
+    ns.set_home_country("RU");
+    s.registry.add_nameserver(std::move(ns));
+  };
+  (void)rng;
+  add_ns(kMilNs1, kMilCapacity, "ns1.mil.example");
+  add_ns(kMilNs2, kMilCapacity, "ns2.mil.example");
+  add_ns(kMilNs3, kMilCapacity, "ns3.mil.example");
+  add_ns(kRdzNs1, kRdzCapacity, "ns1.rzd.example");
+  add_ns(kRdzNs2, kRdzCapacity, "ns2.rzd.example");
+  add_ns(kRdzNs3, kRdzCapacity, "ns3.rzd.example");
+
+  // mil.ru, its Cyrillic IDN, and subdomains share the delegation.
+  const std::vector<netsim::IPv4Addr> mil_set = {kMilNs1, kMilNs2, kMilNs3};
+  for (const char* name :
+       {"mil.ru", "xn--90adear.xn--p1ai", "www.mil.ru", "recrut.mil.ru",
+        "stat.mil.ru", "tvzvezda.mil.ru", "ens.mil.ru", "doc.mil.ru"}) {
+    s.registry.add_domain(dns::DomainName::must(name), mil_set);
+  }
+  const std::vector<netsim::IPv4Addr> rdz_set = {kRdzNs1, kRdzNs2, kRdzNs3};
+  for (const char* name : {"rzd.ru", "pass.rzd.ru", "ticket.rzd.ru",
+                           "cargo.rzd.ru", "www.rzd.ru", "eng.rzd.ru"}) {
+    s.registry.add_domain(dns::DomainName::must(name), rdz_set);
+  }
+
+  // ---- mil.ru attack: March 11-18, modest telescope-visible flood per
+  // nameserver plus a heavy invisible vector that saturates the shared /24
+  // uplink (multi-vector; §4.3 blind spot).
+  s.mil_start = SimTime::from_utc(2022, 3, 11, 6, 0, 0);
+  s.mil_end = SimTime::from_utc(2022, 3, 18, 20, 0, 0);
+  s.geo_start = SimTime::from_utc(2022, 3, 12, 0, 0, 0);
+  s.geo_end = SimTime::from_utc(2022, 3, 17, 0, 0, 0);
+  const std::int64_t mil_dur = s.mil_end - s.mil_start;
+  for (const auto& ip : {kMilNs1, kMilNs2, kMilNs3}) {
+    attack::AttackSpec vis;
+    vis.target = ip;
+    vis.start = s.mil_start;
+    vis.duration_s = mil_dur;
+    vis.peak_pps = 9e3;  // modest at the telescope
+    vis.protocol = attack::Protocol::UDP;
+    vis.first_port = 53;
+    vis.steady = true;
+    s.schedule.add(vis);
+
+    // Invisible companion vector: per-server utilisation ~0.95 and a
+    // shared-/24 link at ~0.8 — severe degradation (as the press
+    // reported), yet modest backscatter (as the telescope inferred).
+    attack::AttackSpec invis = vis;
+    invis.id = 0;
+    invis.spoof = attack::SpoofType::Direct;
+    invis.peak_pps = 27.5e3;
+    s.schedule.add(invis);
+  }
+  s.schedule.set_link_capacity(kMilNs1, kMilSharedLink);
+  // Geofence response (reported by the press; §5.2.1).
+  for (const auto& ip : {kMilNs1, kMilNs2, kMilNs3}) {
+    s.registry.mutable_nameserver(ip).set_geofence_interval(s.geo_start,
+                                                            s.geo_end);
+  }
+
+  // ---- RZD attack: March 8, 15:30-20:45 visible saturation, residual
+  // invisible pressure until ~06:00 keeping resolution intermittent.
+  s.rdz_start = SimTime::from_utc(2022, 3, 8, 15, 30, 0);
+  s.rdz_end = SimTime::from_utc(2022, 3, 8, 20, 45, 0);
+  s.rdz_residual_end = SimTime::from_utc(2022, 3, 9, 6, 0, 0);
+  for (const auto& ip : {kRdzNs1, kRdzNs2, kRdzNs3}) {
+    attack::AttackSpec vis;
+    vis.target = ip;
+    vis.start = s.rdz_start;
+    vis.duration_s = s.rdz_end - s.rdz_start;
+    vis.peak_pps = kRdzCapacity * 25.0;  // crowdsourced port-53 flood
+    vis.protocol = attack::Protocol::UDP;
+    vis.first_port = 53;
+    vis.steady = true;
+    s.schedule.add(vis);
+
+    // Residual pressure until ~06:00: pulsed invisible floods (10 minutes
+    // on, 10 minutes off) keep resolution intermittent through the night.
+    for (SimTime t = s.rdz_end; t < s.rdz_residual_end;
+         t = t + 4 * netsim::kSecondsPerWindow) {
+      attack::AttackSpec pulse;
+      pulse.target = ip;
+      pulse.start = t;
+      pulse.duration_s = 2 * netsim::kSecondsPerWindow;
+      pulse.peak_pps = kRdzCapacity * 25.0;
+      pulse.spoof = attack::SpoofType::Direct;
+      pulse.protocol = attack::Protocol::UDP;
+      pulse.first_port = 53;
+      pulse.steady = true;
+      s.schedule.add(pulse);
+    }
+  }
+  s.schedule.set_link_capacity(kRdzNs1, 1e6);
+  s.schedule.set_link_capacity(kRdzNs3, 1e6);
+}
+
+}  // namespace
+
+RussiaResult run_russia(const RussiaParams& params) {
+  Setup setup;
+  build_setup(setup, params);
+
+  RussiaResult result;
+  result.milru.attack_start = setup.mil_start;
+  result.milru.attack_end = setup.mil_end;
+  result.milru.geofence_start = setup.geo_start;
+  result.milru.geofence_end = setup.geo_end;
+  result.rdz.attack_start = setup.rdz_start;
+  result.rdz.attack_end = setup.rdz_end;
+  result.milru_distinct_slash24 = 1;  // by construction (same /24)
+  result.rdz_distinct_slash24 = 2;
+
+  // Telescope feed and stitched events.
+  const telescope::Darknet darknet = telescope::Darknet::ucsd_like();
+  telescope::RSDoSFeed feed{telescope::InferenceParams{},
+                            attack::BackscatterModelParams{}};
+  feed.ingest(setup.schedule, darknet, params.seed ^ 0xFEED);
+  const auto events = feed.events();
+
+  // ---- OpenINTEL daily view of mil.ru (March 9-19).
+  openintel::SweeperParams sp;
+  sp.model = params.model;
+  sp.seed = params.seed ^ 0x02;
+  const openintel::Sweeper sweeper(setup.registry, setup.schedule, sp);
+  openintel::MeasurementStore store;
+  const netsim::DayIndex d0 = setup.mil_start.day() - 2;
+  const netsim::DayIndex d1 = setup.mil_end.day() + 1;
+  for (netsim::DayIndex day = d0; day <= d1; ++day) {
+    sweeper.sweep_day(
+        day, [&store](const openintel::Measurement& m) { store.add(m); });
+  }
+  const dns::NssetId mil_nsset = setup.registry.nsset_of_domain(0);
+  for (netsim::DayIndex day = d0; day <= d1; ++day) {
+    if (const auto* agg = store.daily(mil_nsset, day)) {
+      result.milru.openintel_daily.push_back(DailySuccess{
+          day, agg->measured
+                   ? static_cast<double>(agg->ok) / agg->measured
+                   : 0.0});
+    }
+  }
+
+  // ---- Reactive campaigns.
+  reactive::ReactiveParams rp;
+  rp.model = params.model;
+  rp.seed = params.seed ^ 0x03;
+  const reactive::ReactivePlatform platform(setup.registry, setup.schedule,
+                                            rp);
+  bool saw_geofence_response = false;
+  for (const auto& ev : events) {
+    if (ev.victim == kMilNs1) {
+      const reactive::Campaign campaign = platform.run_campaign(ev);
+      result.milru.attack_windows_probed = campaign.attack_windows_probed();
+      result.milru.unresolvable_attack_windows =
+          campaign.fully_unresolvable_attack_windows();
+      for (const auto& w : campaign.windows) {
+        const SimTime t = netsim::window_start(w.window);
+        if (t < setup.geo_start || t >= setup.geo_end) continue;
+        for (const auto& [ns, tally] : w.per_ns) {
+          if (tally.responses > 0) saw_geofence_response = true;
+        }
+      }
+      result.milru.no_ns_responsive_during_geofence = !saw_geofence_response;
+    } else if (ev.victim == kRdzNs1) {
+      const reactive::Campaign campaign = platform.run_campaign(ev);
+      double probed = 0.0, resolved = 0.0;
+      for (const auto& w : campaign.windows) {
+        if (!w.during_attack) continue;
+        probed += w.domains_probed;
+        resolved += w.domains_resolved;
+      }
+      result.rdz.during_attack_resolution_rate =
+          probed > 0.0 ? resolved / probed : 0.0;
+      // Sustained recovery: three consecutive post-attack windows >= 90%.
+      int streak = 0;
+      for (const auto& w : campaign.windows) {
+        if (w.window <= campaign.attack_end) continue;
+        streak = w.resolution_rate() >= 0.9 ? streak + 1 : 0;
+        if (streak == 3) {
+          result.rdz.recovery_time =
+              netsim::window_start(w.window - 2);
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ddos::scenario

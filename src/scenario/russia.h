@@ -1,0 +1,73 @@
+// Russian-infrastructure case studies (§5.2): the March 2022 attacks on
+// the Ministry of Defence (mil.ru) and on RZD railways, observed through
+// both OpenINTEL and the reactive measurement platform.
+//
+//   * mil.ru — three unicast nameservers on the *same /24* behind one ASN
+//     (the §5.2.3 anti-pattern): the shared upstream saturates under a
+//     multi-vector attack of modest telescope-visible intensity, and the
+//     operator responds by geofencing the network to Russian clients,
+//     making the domain unresolvable from the Dutch vantage for most of
+//     the 8-day attack (March 11-18; OpenINTEL fails March 12-16).
+//   * RZD railways (rzd.ru) — three unicast nameservers on two /24s, one
+//     ASN; attacked March 8 15:30-20:45 UTC, with residual pressure that
+//     keeps resolution intermittent until ~06:00 the next morning, when
+//     the reactive platform observes recovery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dns/load_model.h"
+#include "netsim/simtime.h"
+#include "reactive/platform.h"
+
+namespace ddos::scenario {
+
+struct RussiaParams {
+  std::uint64_t seed = 9;
+  dns::LoadModelParams model;
+};
+
+struct DailySuccess {
+  netsim::DayIndex day = 0;
+  double success_share = 0.0;  // OK / measured for the day
+};
+
+struct MilRuResult {
+  netsim::SimTime attack_start, attack_end;
+  netsim::SimTime geofence_start, geofence_end;
+  /// OpenINTEL view, March 9-19: share of successful resolutions per day.
+  std::vector<DailySuccess> openintel_daily;
+  /// Reactive campaign (per the platform's iterative all-NS probing).
+  std::size_t attack_windows_probed = 0;
+  std::size_t unresolvable_attack_windows = 0;
+  /// True if during the geofence no nameserver answered a single probe.
+  bool no_ns_responsive_during_geofence = false;
+  double unresolvable_share() const {
+    return attack_windows_probed
+               ? static_cast<double>(unresolvable_attack_windows) /
+                     attack_windows_probed
+               : 0.0;
+  }
+};
+
+struct RdzResult {
+  netsim::SimTime attack_start, attack_end;
+  /// Resolution rate while the attack was live (reactive view).
+  double during_attack_resolution_rate = 0.0;
+  /// When the reactive platform first saw sustained recovery (>= 90%).
+  netsim::SimTime recovery_time;
+  bool recovered() const { return recovery_time.seconds() != 0; }
+};
+
+struct RussiaResult {
+  MilRuResult milru;
+  RdzResult rdz;
+  /// Resilience anti-pattern stats for the report (§5.2.3).
+  std::uint32_t milru_distinct_slash24 = 0;
+  std::uint32_t rdz_distinct_slash24 = 0;
+};
+
+RussiaResult run_russia(const RussiaParams& params);
+
+}  // namespace ddos::scenario

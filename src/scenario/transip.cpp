@@ -1,0 +1,268 @@
+#include "scenario/transip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/impact.h"
+#include "openintel/sweeper.h"
+#include "telescope/darknet.h"
+
+namespace ddos::scenario {
+
+namespace {
+
+using netsim::IPv4Addr;
+using netsim::SimTime;
+
+constexpr double kPacketBytes = 1408.0;  // volumetric estimate packet size
+
+// Nameserver service addresses (synthetic stand-ins; the paper anonymises
+// them as A, B, C). Three /24s, two sites (AMS, EHV), one ASN.
+const IPv4Addr kNsA(61, 10, 1, 10);
+const IPv4Addr kNsB(61, 10, 2, 10);
+const IPv4Addr kNsC(61, 10, 3, 10);
+constexpr topology::Asn kTransIpAsn = 20857;
+
+// Victim-side flood rates chosen so the telescope observes the paper's
+// Table 2 ppm values (ppm = pps / 341 * 60).
+constexpr double kDecPpsA = 124e3;   // -> ~21.8K ppm
+constexpr double kDecPpsB = 21.6e3;  // -> ~3.8K ppm
+constexpr double kDecPpsC = 16.5e3;  // -> ~2.9K ppm
+constexpr double kMarPpsA = 710e3;   // -> ~125K ppm
+constexpr double kMarPpsB = 700e3;   // -> ~123K ppm
+constexpr double kMarPpsC = 74e3;    // -> ~13K ppm
+
+// Server capacities: sized so the December attack drives A close to (but
+// not past) saturation — a ~10-25x inflation with few losses — while the
+// 6x stronger March attack saturates A and B outright and degrades C,
+// yielding the ~20% timeout rate of Fig. 3.
+constexpr double kCapacityAB = 130e3;
+constexpr double kCapacityC = 78.6e3;
+// Fixed vantage base RTTs (NL to NL), so the replay is deterministic.
+constexpr double kBaseRttAB = 17.0;
+constexpr double kBaseRttC = 18.0;
+
+struct Setup {
+  dns::DnsRegistry registry;
+  topology::PrefixTable routes;
+  topology::AsRegistry orgs;
+  attack::AttackSchedule schedule;
+  std::uint64_t domains = 0;
+  std::uint64_t nl_domains = 0;
+  std::uint64_t third_party_web = 0;
+};
+
+void build_setup(Setup& s, const TransIPParams& params) {
+  netsim::Rng rng(params.seed);
+
+  s.orgs.add(topology::AsInfo{kTransIpAsn, "TransIP", "NL"});
+  for (const auto& ip : {kNsA, kNsB, kNsC}) {
+    s.routes.announce(netsim::Prefix(ip, 24), kTransIpAsn);
+  }
+
+  const auto add_ns = [&](IPv4Addr ip, const char* loc, double capacity,
+                          double base_rtt, const char* host) {
+    dns::Nameserver ns(ip, {dns::Site{loc, capacity, base_rtt, 1.0}}, host);
+    ns.set_legit_pps(4e3);
+    ns.set_home_country("NL");
+    s.registry.add_nameserver(std::move(ns));
+  };
+  add_ns(kNsA, "AMS", kCapacityAB, kBaseRttAB, "ns0.transip.example");
+  add_ns(kNsB, "AMS", kCapacityAB, kBaseRttAB, "ns1.transip.example");
+  add_ns(kNsC, "EHV", kCapacityC, kBaseRttC, "ns2.transip.example");
+
+  s.domains = static_cast<std::uint64_t>(776000.0 * params.scale);
+  s.domains = std::max<std::uint64_t>(s.domains, 50);
+  for (std::uint64_t d = 0; d < s.domains; ++d) {
+    const bool nl = rng.chance(510.0 / 776.0);  // two-thirds .nl
+    if (nl) ++s.nl_domains;
+    if (rng.chance(0.27)) ++s.third_party_web;  // third-party web hosting
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "t%07llu.%s",
+                  static_cast<unsigned long long>(d), nl ? "nl" : "com");
+    s.registry.add_domain(dns::DomainName::must(buf), {kNsA, kNsB, kNsC});
+  }
+
+  // Shared upstream links per /24 — generous; the attacks here saturate
+  // servers, not links.
+  for (const auto& ip : {kNsA, kNsB, kNsC}) {
+    s.schedule.set_link_capacity(ip, 5e6);
+  }
+
+  const auto flood = [&](IPv4Addr target, SimTime start, std::int64_t dur,
+                         double pps, attack::SpoofType spoof) {
+    attack::AttackSpec spec;
+    spec.target = target;
+    spec.start = start;
+    spec.duration_s = dur;
+    spec.peak_pps = pps;
+    spec.protocol = attack::Protocol::TCP;
+    spec.first_port = 53;
+    spec.unique_ports = 1;
+    spec.spoof = spoof;
+    spec.steady = true;
+    s.schedule.add(spec);
+  };
+
+  // --- December 2020: telescope-visible phase 2020-11-30 22:00 -> 00:00,
+  // then an invisible vector keeps the pressure on until 08:00 (§5.1's
+  // "attackers moved to a different kind of DDoS attack" hypothesis).
+  const SimTime dec_vis_start = SimTime::from_utc(2020, 11, 30, 22, 0, 0);
+  const SimTime dec_vis_end = SimTime::from_utc(2020, 12, 1, 0, 0, 0);
+  const SimTime dec_effect_end = SimTime::from_utc(2020, 12, 1, 8, 0, 0);
+  const std::int64_t vis_dur = dec_vis_end - dec_vis_start;
+  const std::int64_t invis_dur = dec_effect_end - dec_vis_end;
+  flood(kNsA, dec_vis_start, vis_dur, kDecPpsA, attack::SpoofType::RandomUniform);
+  flood(kNsB, dec_vis_start, vis_dur, kDecPpsB, attack::SpoofType::RandomUniform);
+  flood(kNsC, dec_vis_start, vis_dur, kDecPpsC, attack::SpoofType::RandomUniform);
+  flood(kNsA, dec_vis_end, invis_dur, kDecPpsA, attack::SpoofType::Direct);
+  flood(kNsB, dec_vis_end, invis_dur, kDecPpsB, attack::SpoofType::Direct);
+  flood(kNsC, dec_vis_end, invis_dur, kDecPpsC, attack::SpoofType::Direct);
+
+  // --- March 2021: stronger, all-visible; impairment window matches the
+  // telescope's (TransIP had deployed IP-level scrubbing by then).
+  const SimTime mar_start = SimTime::from_utc(2021, 3, 29, 14, 0, 0);
+  const SimTime mar_end = SimTime::from_utc(2021, 3, 29, 20, 0, 0);
+  const std::int64_t mar_dur = mar_end - mar_start;
+  flood(kNsA, mar_start, mar_dur, kMarPpsA, attack::SpoofType::RandomUniform);
+  flood(kNsB, mar_start, mar_dur, kMarPpsB, attack::SpoofType::RandomUniform);
+  flood(kNsC, mar_start, mar_dur, kMarPpsC, attack::SpoofType::RandomUniform);
+}
+
+NsAttackMetrics metrics_for(const telescope::RSDoSFeed& feed,
+                            const telescope::Darknet& darknet, IPv4Addr ip,
+                            netsim::WindowIndex from,
+                            netsim::WindowIndex to) {
+  NsAttackMetrics m;
+  m.ip = ip;
+  std::uint64_t packets = 0;
+  for (const auto& rec : feed.records()) {
+    if (rec.victim != ip || rec.window < from || rec.window > to) continue;
+    m.observed_ppm = std::max(m.observed_ppm, rec.max_ppm);
+    packets += rec.packets;
+  }
+  const double pps = feed.extrapolate_pps(m.observed_ppm, darknet);
+  m.inferred_gbps = pps * kPacketBytes * 8.0 / 1e9;
+  const double telescope_addrs =
+      static_cast<double>(darknet.address_count());
+  m.attacker_ip_count =
+      telescope_addrs *
+      (1.0 - std::exp(-static_cast<double>(packets) / telescope_addrs));
+  return m;
+}
+
+}  // namespace
+
+TransIPResult run_transip(const TransIPParams& params) {
+  Setup setup;
+  build_setup(setup, params);
+
+  TransIPResult result;
+  result.domains_hosted = setup.domains;
+  result.nl_share =
+      static_cast<double>(setup.nl_domains) / static_cast<double>(setup.domains);
+  result.third_party_web_share = static_cast<double>(setup.third_party_web) /
+                                 static_cast<double>(setup.domains);
+  result.dec_visible_start = SimTime::from_utc(2020, 11, 30, 22, 0, 0);
+  result.dec_visible_end = SimTime::from_utc(2020, 12, 1, 0, 0, 0);
+  result.dec_effect_end = SimTime::from_utc(2020, 12, 1, 8, 0, 0);
+  result.mar_start = SimTime::from_utc(2021, 3, 29, 14, 0, 0);
+  result.mar_end = SimTime::from_utc(2021, 3, 29, 20, 0, 0);
+
+  // Telescope inference.
+  const telescope::Darknet darknet = telescope::Darknet::ucsd_like();
+  telescope::RSDoSFeed feed{telescope::InferenceParams{},
+                            attack::BackscatterModelParams{}};
+  feed.ingest(setup.schedule, darknet, params.seed ^ 0xFEED);
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    const IPv4Addr ip = i == 0 ? kNsA : (i == 1 ? kNsB : kNsC);
+    result.december[i] =
+        metrics_for(feed, darknet, ip, result.dec_visible_start.window(),
+                    result.dec_visible_end.window());
+    result.march[i] = metrics_for(feed, darknet, ip,
+                                  result.mar_start.window(),
+                                  result.mar_end.window());
+  }
+
+  // OpenINTEL sweep of the attack-adjacent days.
+  openintel::SweeperParams sp;
+  sp.model = params.model;
+  sp.seed = params.seed ^ 0x01;
+  const openintel::Sweeper sweeper(setup.registry, setup.schedule, sp);
+  openintel::MeasurementStore store;
+  const std::vector<netsim::DayIndex> days = {
+      // December window: Nov 29 (baseline) .. Dec 2.
+      result.dec_visible_start.day() - 1, result.dec_visible_start.day(),
+      result.dec_visible_start.day() + 1, result.dec_visible_start.day() + 2,
+      // March window: Mar 28 (baseline) .. Mar 31.
+      result.mar_start.day() - 1, result.mar_start.day(),
+      result.mar_start.day() + 1, result.mar_start.day() + 2,
+  };
+  for (const netsim::DayIndex day : days) {
+    sweeper.sweep_day(day, [&store](const openintel::Measurement& m) {
+      store.add(m);
+    });
+  }
+
+  // Hourly series around each attack (Fig. 2 / Fig. 3).
+  const dns::NssetId nsset = setup.registry.nsset_of_domain(0);
+  const auto build_series = [&](SimTime from, SimTime to, SimTime mark_from,
+                                SimTime mark_to) {
+    std::vector<SeriesPoint> series;
+    for (SimTime t = from; t < to; t = t + netsim::kSecondsPerHour) {
+      SeriesPoint pt;
+      pt.time = t;
+      pt.attack_marked = t >= mark_from && t < mark_to;
+      const double baseline = store.daily_avg_rtt(nsset, t.day() - 1);
+      openintel::Aggregate hour;
+      for (netsim::WindowIndex w = t.window();
+           w < t.window() + netsim::kSecondsPerHour / netsim::kSecondsPerWindow;
+           ++w) {
+        if (const auto* agg = store.window(nsset, w)) hour.merge(*agg);
+      }
+      if (baseline > 0.0) pt.impact_on_rtt = core::impact_on_rtt(hour, baseline);
+      if (hour.measured > 0)
+        pt.timeout_share =
+            static_cast<double>(hour.timeout) / hour.measured;
+      series.push_back(pt);
+    }
+    return series;
+  };
+
+  result.december_series = build_series(
+      result.dec_visible_start - 12 * netsim::kSecondsPerHour,
+      result.dec_effect_end + 16 * netsim::kSecondsPerHour,
+      result.dec_visible_start, result.dec_visible_end);
+  result.march_series = build_series(
+      result.mar_start - 12 * netsim::kSecondsPerHour,
+      result.mar_end + 16 * netsim::kSecondsPerHour, result.mar_start,
+      result.mar_end);
+
+  for (const auto& pt : result.december_series) {
+    result.december_peak_impact =
+        std::max(result.december_peak_impact, pt.impact_on_rtt);
+    result.december_peak_timeout_share =
+        std::max(result.december_peak_timeout_share, pt.timeout_share);
+  }
+  for (const auto& pt : result.march_series) {
+    result.march_peak_impact =
+        std::max(result.march_peak_impact, pt.impact_on_rtt);
+    result.march_peak_timeout_share =
+        std::max(result.march_peak_timeout_share, pt.timeout_share);
+  }
+
+  // Residual impairment: last hour after the visible December attack whose
+  // impact still exceeds 3x baseline.
+  SimTime last_impaired = result.dec_visible_end;
+  for (const auto& pt : result.december_series) {
+    if (pt.time >= result.dec_visible_end && pt.impact_on_rtt > 3.0)
+      last_impaired = pt.time + netsim::kSecondsPerHour;
+  }
+  result.december_residual_hours =
+      static_cast<double>(last_impaired - result.dec_visible_end) /
+      netsim::kSecondsPerHour;
+  return result;
+}
+
+}  // namespace ddos::scenario

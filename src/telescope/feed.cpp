@@ -1,0 +1,53 @@
+#include "telescope/feed.h"
+
+#include <istream>
+#include <string>
+
+namespace ddos::telescope {
+
+RSDoSFeed::RSDoSFeed(InferenceParams inference,
+                     attack::BackscatterModelParams model)
+    : inference_(inference), model_(model) {}
+
+void RSDoSFeed::ingest(const attack::AttackSchedule& schedule,
+                       const Darknet& darknet, std::uint64_t seed) {
+  const double fraction = darknet.ipv4_fraction();
+  const std::uint32_t subnets = darknet.slash16_count();
+  for (const auto& atk : schedule.attacks()) {
+    // Per-attack RNG stream keyed by (seed, attack id): ingest order does
+    // not affect results, and re-ingesting reproduces the same feed.
+    netsim::Rng rng(netsim::mix64(seed ^ atk.id * 0x9E3779B97F4A7C15ull));
+    for (netsim::WindowIndex w = atk.first_window(); w <= atk.last_window();
+         ++w) {
+      const auto bw = attack::observe_backscatter(atk, w, fraction, subnets,
+                                                  model_, rng);
+      if (passes_thresholds(bw, inference_)) {
+        records_.push_back(to_record(bw));
+      }
+    }
+  }
+}
+
+std::vector<RSDoSEvent> RSDoSFeed::events() const {
+  return segment_events(records_, inference_);
+}
+
+void RSDoSFeed::write_csv(std::ostream& out) const {
+  out << RSDoSRecord::csv_header() << '\n';
+  for (const auto& rec : records_) out << rec.to_csv_row() << '\n';
+}
+
+std::size_t RSDoSFeed::read_csv(std::istream& in) {
+  std::size_t count = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line == RSDoSRecord::csv_header() || line.empty()) continue;
+    if (const auto rec = RSDoSRecord::from_csv_row(line)) {
+      records_.push_back(*rec);
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace ddos::telescope

@@ -1,0 +1,84 @@
+// RSDoSFeed — end-to-end generation of the curated attack feed from an
+// attack schedule through the darknet, plus the summary statistics the
+// paper reports about it (Table 1) and the pps extrapolation helper
+// (footnote 2: victim pps ≈ telescope ppm × extrapolation / 60).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <unordered_set>
+#include <vector>
+
+#include "attack/schedule.h"
+#include "telescope/darknet.h"
+#include "telescope/rsdos.h"
+
+namespace ddos::telescope {
+
+/// Summary row matching Table 1 of the paper.
+struct FeedSummary {
+  std::uint64_t attacks = 0;        // stitched events
+  std::uint64_t unique_ips = 0;     // distinct victim addresses
+  std::uint64_t unique_slash24 = 0; // distinct /24 prefixes
+  std::uint64_t unique_asn = 0;     // distinct origin ASes (via callback)
+};
+
+class RSDoSFeed {
+ public:
+  RSDoSFeed(InferenceParams inference, attack::BackscatterModelParams model);
+
+  /// Run every attack in `schedule` through `darknet` and retain the
+  /// windows that pass the inference thresholds. Deterministic in `seed`.
+  void ingest(const attack::AttackSchedule& schedule, const Darknet& darknet,
+              std::uint64_t seed);
+
+  /// Append a pre-built record (tests / replays).
+  void add_record(const RSDoSRecord& record) { records_.push_back(record); }
+
+  const std::vector<RSDoSRecord>& records() const { return records_; }
+
+  /// Stitched per-victim events (recomputed on call).
+  std::vector<RSDoSEvent> events() const;
+
+  /// Table-1 style totals. `origin_of` maps a victim IP to its origin AS
+  /// (0 = unrouted, excluded from the AS count).
+  template <typename OriginFn>
+  FeedSummary summarize(OriginFn&& origin_of) const {
+    FeedSummary s;
+    std::unordered_set<netsim::IPv4Addr> ips;
+    std::unordered_set<netsim::IPv4Addr> nets;
+    std::unordered_set<std::uint32_t> asns;
+    for (const auto& ev : events()) {
+      ++s.attacks;
+      ips.insert(ev.victim);
+      nets.insert(ev.victim.slash24());
+      const std::uint32_t asn = origin_of(ev.victim);
+      if (asn != 0) asns.insert(asn);
+    }
+    s.unique_ips = ips.size();
+    s.unique_slash24 = nets.size();
+    s.unique_asn = asns.size();
+    return s;
+  }
+
+  /// Victim pps inferred from a telescope ppm reading.
+  double extrapolate_pps(double telescope_ppm, const Darknet& darknet) const {
+    return telescope_ppm * darknet.extrapolation_factor() / 60.0;
+  }
+
+  /// Serialise all records as CSV (header + rows).
+  void write_csv(std::ostream& out) const;
+
+  /// Load records from a write_csv() stream (header optional). Returns
+  /// the number of records read; malformed rows are skipped.
+  std::size_t read_csv(std::istream& in);
+
+  const InferenceParams& inference() const { return inference_; }
+
+ private:
+  InferenceParams inference_;
+  attack::BackscatterModelParams model_;
+  std::vector<RSDoSRecord> records_;
+};
+
+}  // namespace ddos::telescope

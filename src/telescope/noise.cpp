@@ -1,0 +1,82 @@
+#include "telescope/noise.h"
+
+#include "telescope/rsdos.h"
+
+namespace ddos::telescope {
+
+namespace {
+
+netsim::IPv4Addr random_source(netsim::Rng& rng) {
+  // Noise sources live all over the routed space.
+  return netsim::IPv4Addr(static_cast<std::uint32_t>(rng.next_u64()));
+}
+
+}  // namespace
+
+std::vector<attack::BackscatterWindow> generate_ibr_noise(
+    const IbrNoiseParams& params, netsim::WindowIndex first_window,
+    netsim::WindowIndex last_window, const Darknet& darknet) {
+  netsim::Rng rng(params.seed);
+  const std::uint32_t subnets = darknet.slash16_count();
+  std::vector<attack::BackscatterWindow> out;
+
+  for (netsim::WindowIndex w = first_window; w <= last_window; ++w) {
+    // Misconfigurations: lots of packets, almost no spread.
+    const std::uint64_t misconfigs =
+        rng.poisson(params.misconfig_sources_per_window);
+    for (std::uint64_t i = 0; i < misconfigs; ++i) {
+      attack::BackscatterWindow bw;
+      bw.window = w;
+      bw.victim = random_source(rng);
+      bw.packets = 50 + rng.uniform_u64(5000);
+      bw.distinct_slash16 =
+          static_cast<std::uint32_t>(1 + rng.uniform_u64(3));
+      bw.peak_ppm = static_cast<double>(bw.packets) / 5.0;
+      bw.protocol = attack::Protocol::TCP;
+      bw.first_port = static_cast<std::uint16_t>(rng.uniform_u64(65535));
+      out.push_back(bw);
+    }
+    // Residual trickles: wide-ish spread but tiny volume.
+    const std::uint64_t residuals =
+        rng.poisson(params.residual_sources_per_window);
+    for (std::uint64_t i = 0; i < residuals; ++i) {
+      attack::BackscatterWindow bw;
+      bw.window = w;
+      bw.victim = random_source(rng);
+      bw.packets = 1 + rng.uniform_u64(20);
+      bw.distinct_slash16 = static_cast<std::uint32_t>(
+          1 + rng.uniform_u64(std::min<std::uint64_t>(bw.packets, subnets)));
+      bw.peak_ppm = static_cast<double>(bw.packets) / 5.0;
+      bw.protocol = rng.chance(0.5) ? attack::Protocol::TCP
+                                    : attack::Protocol::UDP;
+      bw.first_port = static_cast<std::uint16_t>(rng.uniform_u64(65535));
+      out.push_back(bw);
+    }
+    // Flickers: the rare wide blip that passes thresholds.
+    if (rng.chance(params.flicker_sources_per_window)) {
+      attack::BackscatterWindow bw;
+      bw.window = w;
+      bw.victim = random_source(rng);
+      bw.packets = 100 + rng.uniform_u64(400);
+      bw.distinct_slash16 = static_cast<std::uint32_t>(
+          30 + rng.uniform_u64(subnets - 30));
+      bw.peak_ppm = static_cast<double>(bw.packets) / 4.0;
+      bw.protocol = attack::Protocol::TCP;
+      bw.first_port = 80;
+      out.push_back(bw);
+    }
+  }
+  return out;
+}
+
+double rejection_rate(const std::vector<attack::BackscatterWindow>& windows,
+                      const InferenceParams& inference) {
+  if (windows.empty()) return 0.0;
+  std::size_t rejected = 0;
+  for (const auto& bw : windows) {
+    if (!passes_thresholds(bw, inference)) ++rejected;
+  }
+  return static_cast<double>(rejected) / windows.size();
+}
+
+}  // namespace ddos::telescope

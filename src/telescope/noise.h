@@ -1,0 +1,49 @@
+// Internet Background Radiation noise (§3.1). The telescope's raw capture
+// is mostly *not* attack backscatter: scanners sweeping the darknet,
+// misconfigured hosts retransmitting to a handful of addresses, and
+// low-rate response trickles. Moore et al.'s thresholds exist precisely to
+// reject these — so a faithful inference pipeline has to be exercised
+// against them, not only against clean attack signals.
+//
+// The generator produces response-type aggregates (the stage after
+// request/response classification, which already discarded scan SYNs) in
+// three noise flavours:
+//   * misconfiguration: bursts of many packets to very few /16s (fails the
+//     spread threshold);
+//   * residual backscatter: tiny responses from sub-threshold events
+//     (fails the packet/rate thresholds);
+//   * heavy-tail flickers: occasional wide-spread but single-window blips
+//     that pass thresholds and become one-window "attacks" — the
+//     false-positive floor real feeds carry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/backscatter.h"
+#include "netsim/rng.h"
+#include "netsim/simtime.h"
+#include "telescope/darknet.h"
+#include "telescope/rsdos.h"
+
+namespace ddos::telescope {
+
+struct IbrNoiseParams {
+  /// Noise sources emitting response traffic per 5-minute window.
+  double misconfig_sources_per_window = 3.0;
+  double residual_sources_per_window = 40.0;
+  /// Rare wide blips that can pass inference (per window).
+  double flicker_sources_per_window = 0.02;
+  std::uint64_t seed = 314;
+};
+
+/// Generate per-window noise aggregates across [first_window, last_window].
+std::vector<attack::BackscatterWindow> generate_ibr_noise(
+    const IbrNoiseParams& params, netsim::WindowIndex first_window,
+    netsim::WindowIndex last_window, const Darknet& darknet);
+
+/// Fraction of `windows` rejected by the inference thresholds.
+double rejection_rate(const std::vector<attack::BackscatterWindow>& windows,
+                      const InferenceParams& inference);
+
+}  // namespace ddos::telescope

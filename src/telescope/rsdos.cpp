@@ -1,0 +1,105 @@
+#include "telescope/rsdos.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace ddos::telescope {
+
+std::string RSDoSRecord::csv_header() {
+  return "window,victim,slash16,protocol,first_port,unique_ports,max_ppm,"
+         "packets";
+}
+
+std::string RSDoSRecord::to_csv_row() const {
+  return std::to_string(window) + "," + victim.to_string() + "," +
+         std::to_string(distinct_slash16) + "," +
+         attack::to_string(protocol) + "," + std::to_string(first_port) +
+         "," + std::to_string(unique_ports) + "," +
+         util::format_fixed(max_ppm, 1) + "," + std::to_string(packets);
+}
+
+std::optional<RSDoSRecord> RSDoSRecord::from_csv_row(std::string_view line) {
+  const auto fields = util::split(line, ',');
+  if (fields.size() != 8) return std::nullopt;
+  RSDoSRecord rec;
+  std::uint64_t v = 0;
+  if (!util::parse_u64(fields[0], v)) return std::nullopt;
+  rec.window = static_cast<netsim::WindowIndex>(v);
+  const auto victim = netsim::IPv4Addr::parse(fields[1]);
+  if (!victim) return std::nullopt;
+  rec.victim = *victim;
+  if (!util::parse_u64(fields[2], v) || v > 0xFFFFFFFFu) return std::nullopt;
+  rec.distinct_slash16 = static_cast<std::uint32_t>(v);
+  if (util::iequals(fields[3], "TCP")) rec.protocol = attack::Protocol::TCP;
+  else if (util::iequals(fields[3], "UDP")) rec.protocol = attack::Protocol::UDP;
+  else if (util::iequals(fields[3], "ICMP")) rec.protocol = attack::Protocol::ICMP;
+  else return std::nullopt;
+  if (!util::parse_u64(fields[4], v) || v > 0xFFFF) return std::nullopt;
+  rec.first_port = static_cast<std::uint16_t>(v);
+  if (!util::parse_u64(fields[5], v) || v > 0xFFFF) return std::nullopt;
+  rec.unique_ports = static_cast<std::uint16_t>(v);
+  if (!util::parse_double(fields[6], rec.max_ppm)) return std::nullopt;
+  if (!util::parse_u64(fields[7], rec.packets)) return std::nullopt;
+  return rec;
+}
+
+bool passes_thresholds(const attack::BackscatterWindow& bw,
+                       const InferenceParams& params) {
+  if (bw.packets < params.min_packets_per_window) return false;
+  if (bw.distinct_slash16 < params.min_distinct_slash16) return false;
+  if (bw.peak_ppm < params.min_ppm) return false;
+  return true;
+}
+
+RSDoSRecord to_record(const attack::BackscatterWindow& bw) {
+  RSDoSRecord rec;
+  rec.window = bw.window;
+  rec.victim = bw.victim;
+  rec.distinct_slash16 = bw.distinct_slash16;
+  rec.protocol = bw.protocol;
+  rec.first_port = bw.first_port;
+  rec.unique_ports = bw.unique_ports;
+  rec.max_ppm = bw.peak_ppm;
+  rec.packets = bw.packets;
+  return rec;
+}
+
+std::vector<RSDoSEvent> segment_events(std::vector<RSDoSRecord> records,
+                                       const InferenceParams& params) {
+  std::sort(records.begin(), records.end(),
+            [](const RSDoSRecord& a, const RSDoSRecord& b) {
+              if (a.victim != b.victim) return a.victim < b.victim;
+              return a.window < b.window;
+            });
+  std::vector<RSDoSEvent> events;
+  for (std::size_t i = 0; i < records.size();) {
+    const RSDoSRecord& first = records[i];
+    RSDoSEvent ev;
+    ev.victim = first.victim;
+    ev.start_window = ev.end_window = first.window;
+    ev.max_ppm = first.max_ppm;
+    ev.total_packets = first.packets;
+    ev.max_slash16 = first.distinct_slash16;
+    ev.protocol = first.protocol;
+    ev.first_port = first.first_port;
+    ev.max_unique_ports = first.unique_ports;
+    std::size_t j = i + 1;
+    while (j < records.size() && records[j].victim == ev.victim &&
+           records[j].window - ev.end_window <=
+               static_cast<netsim::WindowIndex>(params.max_gap_windows) + 1) {
+      ev.end_window = records[j].window;
+      ev.max_ppm = std::max(ev.max_ppm, records[j].max_ppm);
+      ev.total_packets += records[j].packets;
+      ev.max_slash16 = std::max(ev.max_slash16, records[j].distinct_slash16);
+      ev.max_unique_ports =
+          std::max(ev.max_unique_ports, records[j].unique_ports);
+      ++j;
+    }
+    events.push_back(ev);
+    i = j;
+  }
+  return events;
+}
+
+}  // namespace ddos::telescope

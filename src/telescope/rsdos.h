@@ -1,0 +1,88 @@
+// RSDoS inference (Moore et al. 2006; CAIDA's curated feed, §3.1).
+//
+// Input: per-victim, per-5-minute-window backscatter aggregates captured by
+// the darknet. Output: RSDoSRecord rows with the exact fields the paper
+// lists — timestamp, victim, /16 spread, protocol, first port, number of
+// unique ports, peak observed packet rate — after noise thresholds that
+// discard scanning artefacts and misconfigurations.
+//
+// Records for the same victim separated by at most `max_gap_windows` empty
+// windows are then stitched into RSDoSEvents, the unit of the paper's
+// duration analysis (§6.5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "attack/backscatter.h"
+#include "netsim/ipv4.h"
+#include "netsim/simtime.h"
+
+namespace ddos::telescope {
+
+/// One row of the curated attack feed (5-minute tumbling window).
+struct RSDoSRecord {
+  netsim::WindowIndex window = 0;
+  netsim::IPv4Addr victim;
+  std::uint32_t distinct_slash16 = 0;
+  attack::Protocol protocol = attack::Protocol::TCP;
+  std::uint16_t first_port = 0;
+  std::uint16_t unique_ports = 1;
+  double max_ppm = 0.0;          // peak packet rate at the telescope, pkt/min
+  std::uint64_t packets = 0;     // backscatter packets in the window
+
+  std::string to_csv_row() const;
+  static std::string csv_header();
+  /// Parse one to_csv_row() line back; nullopt on malformed input.
+  static std::optional<RSDoSRecord> from_csv_row(std::string_view line);
+};
+
+/// Classification thresholds, after Moore et al.: a victim must hit enough
+/// telescope addresses (wide /16 spread ⇒ uniform spoofing) at a minimum
+/// rate before a window counts as attack evidence.
+struct InferenceParams {
+  std::uint64_t min_packets_per_window = 25;
+  std::uint32_t min_distinct_slash16 = 25;
+  double min_ppm = 5.0;
+  /// Windows with no evidence tolerated inside one attack event.
+  int max_gap_windows = 2;
+};
+
+/// Window-level classification.
+bool passes_thresholds(const attack::BackscatterWindow& bw,
+                       const InferenceParams& params);
+
+/// Convert an accepted backscatter window into a feed record.
+RSDoSRecord to_record(const attack::BackscatterWindow& bw);
+
+/// A stitched attack event: consecutive feed records for one victim.
+struct RSDoSEvent {
+  netsim::IPv4Addr victim;
+  netsim::WindowIndex start_window = 0;
+  netsim::WindowIndex end_window = 0;  // inclusive
+  double max_ppm = 0.0;
+  std::uint64_t total_packets = 0;
+  std::uint32_t max_slash16 = 0;
+  attack::Protocol protocol = attack::Protocol::TCP;
+  std::uint16_t first_port = 0;
+  std::uint16_t max_unique_ports = 1;
+
+  std::int64_t duration_s() const {
+    return (end_window - start_window + 1) * netsim::kSecondsPerWindow;
+  }
+  netsim::SimTime start_time() const {
+    return netsim::window_start(start_window);
+  }
+  netsim::SimTime end_time() const {
+    return netsim::window_start(end_window + 1);
+  }
+};
+
+/// Stitch per-window records (any order) into events per victim.
+std::vector<RSDoSEvent> segment_events(std::vector<RSDoSRecord> records,
+                                       const InferenceParams& params);
+
+}  // namespace ddos::telescope

@@ -1,0 +1,38 @@
+#include "topology/as_registry.h"
+
+namespace ddos::topology {
+
+bool AsRegistry::add(const AsInfo& info) {
+  const auto it = by_asn_.find(info.asn);
+  const bool conflict = it != by_asn_.end() && it->second.org != info.org;
+  by_asn_[info.asn] = info;
+  return !conflict;
+}
+
+std::optional<AsInfo> AsRegistry::lookup(Asn asn) const {
+  const auto it = by_asn_.find(asn);
+  if (it == by_asn_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string AsRegistry::org_of(Asn asn) const {
+  const auto it = by_asn_.find(asn);
+  return it == by_asn_.end() ? std::string{} : it->second.org;
+}
+
+std::string AsRegistry::country_of(Asn asn) const {
+  const auto it = by_asn_.find(asn);
+  return it == by_asn_.end() ? std::string{} : it->second.country_code;
+}
+
+bool AsRegistry::contains(Asn asn) const { return by_asn_.contains(asn); }
+
+std::vector<Asn> AsRegistry::asns_of_org(const std::string& org) const {
+  std::vector<Asn> out;
+  for (const auto& [asn, info] : by_asn_) {
+    if (info.org == org) out.push_back(asn);
+  }
+  return out;
+}
+
+}  // namespace ddos::topology

@@ -1,0 +1,119 @@
+#include "topology/prefix_table.h"
+
+#include <algorithm>
+
+namespace ddos::topology {
+
+struct PrefixTable::Node {
+  std::unique_ptr<Node> child[2];
+  bool has_entry = false;
+  Asn origin = 0;
+};
+
+PrefixTable::PrefixTable() : root_(std::make_unique<Node>()) {}
+PrefixTable::~PrefixTable() = default;
+PrefixTable::PrefixTable(PrefixTable&&) noexcept = default;
+PrefixTable& PrefixTable::operator=(PrefixTable&&) noexcept = default;
+
+namespace {
+// Bit i (0 = most significant) of a host-order address.
+inline int bit_at(std::uint32_t v, int i) { return (v >> (31 - i)) & 1; }
+}  // namespace
+
+void PrefixTable::announce(const netsim::Prefix& prefix, Asn origin) {
+  Node* node = root_.get();
+  const std::uint32_t net = prefix.network().value();
+  for (int i = 0; i < prefix.length(); ++i) {
+    const int b = bit_at(net, i);
+    if (!node->child[b]) node->child[b] = std::make_unique<Node>();
+    node = node->child[b].get();
+  }
+  if (!node->has_entry) ++size_;
+  node->has_entry = true;
+  node->origin = origin;
+}
+
+bool PrefixTable::withdraw(const netsim::Prefix& prefix) {
+  Node* node = root_.get();
+  const std::uint32_t net = prefix.network().value();
+  for (int i = 0; i < prefix.length(); ++i) {
+    const int b = bit_at(net, i);
+    if (!node->child[b]) return false;
+    node = node->child[b].get();
+  }
+  if (!node->has_entry) return false;
+  node->has_entry = false;
+  node->origin = 0;
+  --size_;
+  return true;
+}
+
+std::optional<RouteEntry> PrefixTable::lookup(netsim::IPv4Addr addr) const {
+  const std::uint32_t v = addr.value();
+  const Node* node = root_.get();
+  std::optional<RouteEntry> best;
+  int depth = 0;
+  if (node->has_entry)
+    best = RouteEntry{netsim::Prefix(netsim::IPv4Addr(0), 0), node->origin};
+  while (depth < 32) {
+    const int b = bit_at(v, depth);
+    if (!node->child[b]) break;
+    node = node->child[b].get();
+    ++depth;
+    if (node->has_entry) {
+      best = RouteEntry{netsim::Prefix(addr, depth), node->origin};
+    }
+  }
+  return best;
+}
+
+Asn PrefixTable::origin_of(netsim::IPv4Addr addr) const {
+  const auto entry = lookup(addr);
+  return entry ? entry->origin : 0;
+}
+
+std::optional<Asn> PrefixTable::exact(const netsim::Prefix& prefix) const {
+  const Node* node = root_.get();
+  const std::uint32_t net = prefix.network().value();
+  for (int i = 0; i < prefix.length(); ++i) {
+    const int b = bit_at(net, i);
+    if (!node->child[b]) return std::nullopt;
+    node = node->child[b].get();
+  }
+  if (!node->has_entry) return std::nullopt;
+  return node->origin;
+}
+
+std::vector<RouteEntry> PrefixTable::entries() const {
+  std::vector<RouteEntry> out;
+  // Depth-first walk reconstructing prefixes from the path.
+  struct Frame {
+    const Node* node;
+    std::uint32_t net;
+    int depth;
+  };
+  std::vector<Frame> stack{{root_.get(), 0, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.node->has_entry) {
+      out.push_back(RouteEntry{
+          netsim::Prefix(netsim::IPv4Addr(f.net), f.depth), f.node->origin});
+    }
+    for (int b = 0; b < 2; ++b) {
+      if (f.node->child[b]) {
+        std::uint32_t net = f.net;
+        if (b && f.depth < 32) net |= (1u << (31 - f.depth));
+        stack.push_back(Frame{f.node->child[b].get(), net, f.depth + 1});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const RouteEntry& a, const RouteEntry& b) {
+    if (a.prefix.network() != b.prefix.network())
+      return a.prefix.network() < b.prefix.network();
+    return a.prefix.length() < b.prefix.length();
+  });
+  return out;
+}
+
+}  // namespace ddos::topology

@@ -1,0 +1,147 @@
+#include "util/flags.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace ddos::util {
+
+FlagParser::FlagParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagParser::add_string(const std::string& name,
+                            std::string default_value, std::string help) {
+  flags_[name] = Flag{Type::String, default_value, std::move(default_value),
+                      std::move(help)};
+}
+
+void FlagParser::add_int(const std::string& name, std::int64_t default_value,
+                         std::string help) {
+  const std::string v = std::to_string(default_value);
+  flags_[name] = Flag{Type::Int, v, v, std::move(help)};
+}
+
+void FlagParser::add_double(const std::string& name, double default_value,
+                            std::string help) {
+  const std::string v = format_fixed(default_value, 6);
+  flags_[name] = Flag{Type::Double, v, v, std::move(help)};
+}
+
+void FlagParser::add_bool(const std::string& name, std::string help) {
+  flags_[name] = Flag{Type::Bool, "false", "false", std::move(help)};
+}
+
+bool FlagParser::set_value(const std::string& name, const std::string& value) {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    error_ = "unknown flag --" + name;
+    return false;
+  }
+  switch (it->second.type) {
+    case Type::Int: {
+      std::uint64_t u = 0;
+      double d = 0.0;
+      if (!parse_u64(value, u) && !(parse_double(value, d))) {
+        error_ = "flag --" + name + " expects an integer, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case Type::Double: {
+      double d = 0.0;
+      if (!parse_double(value, d)) {
+        error_ = "flag --" + name + " expects a number, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case Type::Bool:
+      if (!iequals(value, "true") && !iequals(value, "false")) {
+        error_ = "flag --" + name + " expects true/false, got '" + value + "'";
+        return false;
+      }
+      break;
+    case Type::String:
+      break;
+  }
+  it->second.value = value;
+  return true;
+}
+
+bool FlagParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string_view arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      if (!set_value(std::string(arg.substr(0, eq)),
+                     std::string(arg.substr(eq + 1)))) {
+        return false;
+      }
+      continue;
+    }
+    const std::string name(arg);
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      error_ = "unknown flag --" + name;
+      return false;
+    }
+    if (it->second.type == Type::Bool) {
+      it->second.value = "true";
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      error_ = "flag --" + name + " requires a value";
+      return false;
+    }
+    if (!set_value(name, args[++i])) return false;
+  }
+  return true;
+}
+
+bool FlagParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+std::string FlagParser::get_string(const std::string& name) const {
+  return flags_.at(name).value;
+}
+
+std::int64_t FlagParser::get_int(const std::string& name) const {
+  double d = 0.0;
+  parse_double(flags_.at(name).value, d);
+  return static_cast<std::int64_t>(d);
+}
+
+double FlagParser::get_double(const std::string& name) const {
+  double d = 0.0;
+  parse_double(flags_.at(name).value, d);
+  return d;
+}
+
+bool FlagParser::get_bool(const std::string& name) const {
+  return iequals(flags_.at(name).value, "true");
+}
+
+std::string FlagParser::usage() const {
+  std::ostringstream out;
+  out << description_ << "\n\nflags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name;
+    if (flag.type != Type::Bool) out << " <" << flag.default_value << ">";
+    out << "\n      " << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ddos::util

@@ -1,0 +1,63 @@
+// Minimal command-line flag parser for the CLI tool and examples.
+// Supports --name value, --name=value, boolean --name, positional
+// arguments, and generated help text. No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ddos::util {
+
+class FlagParser {
+ public:
+  explicit FlagParser(std::string program_description);
+
+  /// Register flags with defaults; `help` appears in usage output.
+  void add_string(const std::string& name, std::string default_value,
+                  std::string help);
+  void add_int(const std::string& name, std::int64_t default_value,
+               std::string help);
+  void add_double(const std::string& name, double default_value,
+                  std::string help);
+  void add_bool(const std::string& name, std::string help);
+
+  /// Parse argv (excluding argv[0]). Returns false — with `error()` set —
+  /// on unknown flags or unparseable values.
+  bool parse(int argc, const char* const* argv);
+  bool parse(const std::vector<std::string>& args);
+
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+
+  /// "--help" requested during parse.
+  bool help_requested() const { return help_requested_; }
+  std::string usage() const;
+
+ private:
+  enum class Type { String, Int, Double, Bool };
+  struct Flag {
+    Type type;
+    std::string value;  // textual; parsed on get
+    std::string default_value;
+    std::string help;
+  };
+
+  bool set_value(const std::string& name, const std::string& value);
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  std::string error_;
+  bool help_requested_ = false;
+};
+
+}  // namespace ddos::util

@@ -1,0 +1,99 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ddos::util {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("LinearHistogram: bins == 0");
+  if (!(hi > lo)) throw std::invalid_argument("LinearHistogram: hi <= lo");
+}
+
+void LinearHistogram::add(double x, std::uint64_t weight) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<long>(std::floor((x - lo_) / width));
+  idx = std::clamp(idx, 0L, static_cast<long>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double LinearHistogram::bin_lo(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double LinearHistogram::bin_hi(std::size_t i) const {
+  return bin_lo(i + 1);
+}
+
+double LinearHistogram::fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+std::size_t LinearHistogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+LogHistogram::LogHistogram(double base, double decades_per_bin,
+                           std::size_t bins)
+    : base_(base), decades_(decades_per_bin), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("LogHistogram: bins == 0");
+  if (base <= 0.0) throw std::invalid_argument("LogHistogram: base <= 0");
+  if (decades_per_bin <= 0.0)
+    throw std::invalid_argument("LogHistogram: decades_per_bin <= 0");
+}
+
+void LogHistogram::add(double x, std::uint64_t weight) {
+  long idx = 0;
+  if (x > 0.0) {
+    idx = static_cast<long>(std::floor(std::log10(x / base_) / decades_));
+  }
+  idx = std::clamp(idx, 0L, static_cast<long>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double LogHistogram::bin_lo(std::size_t i) const {
+  return base_ * std::pow(10.0, decades_ * static_cast<double>(i));
+}
+
+double LogHistogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double LogHistogram::fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+void CategoryCounter::add(const std::string& key, std::uint64_t weight) {
+  counts_[key] += weight;
+  total_ += weight;
+}
+
+std::uint64_t CategoryCounter::count(const std::string& key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double CategoryCounter::fraction(const std::string& key) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(key)) / static_cast<double>(total_);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CategoryCounter::top(
+    std::size_t k) const {
+  std::vector<std::pair<std::string, std::uint64_t>> all(counts_.begin(),
+                                                         counts_.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace ddos::util

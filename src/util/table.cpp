@@ -1,0 +1,70 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ddos::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      out << cell;
+      if (c + 1 < headers_.size())
+        out << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c], '-');
+    if (c + 1 < headers_.size()) out << "  ";
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out << '\n';
+    } else {
+      emit(row);
+    }
+  }
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string ascii_bar(double fraction, std::size_t width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto filled = static_cast<std::size_t>(fraction * static_cast<double>(width) + 0.5);
+  std::string bar(filled, '#');
+  bar.append(width - filled, '.');
+  return bar;
+}
+
+std::string banner(const std::string& title, std::size_t width) {
+  std::string s = "== " + title + " ";
+  if (s.size() < width) s.append(width - s.size(), '=');
+  return s;
+}
+
+}  // namespace ddos::util

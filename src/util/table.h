@@ -1,0 +1,41 @@
+// Aligned plain-text table printer used by the bench harness to emit
+// paper-vs-measured rows for every table and figure.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ddos::util {
+
+/// Accumulates rows of string cells and prints them column-aligned with a
+/// header rule, e.g.:
+///
+///   Month   #DNS Attacks   #Other
+///   ------  -------------  -------
+///   2020-11 2,550 (1.63%)  156,884
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Blank separator row (renders as an empty line inside the table body).
+  void add_separator();
+
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+};
+
+/// Render a 0..1 fraction as a fixed-width ASCII bar, for figure benches.
+std::string ascii_bar(double fraction, std::size_t width = 40);
+
+/// Section banner: "== title ==============".
+std::string banner(const std::string& title, std::size_t width = 72);
+
+}  // namespace ddos::util

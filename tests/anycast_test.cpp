@@ -1,0 +1,180 @@
+#include "anycast/census.h"
+
+#include <gtest/gtest.h>
+
+namespace ddos::anycast {
+namespace {
+
+using netsim::IPv4Addr;
+
+CensusSnapshot snap(netsim::DayIndex day,
+                    std::vector<IPv4Addr> nets) {
+  CensusSnapshot s;
+  s.taken_day = day;
+  for (const auto& n : nets) s.anycast_slash24.insert(n.slash24());
+  return s;
+}
+
+TEST(Census, EmptyCensusNeverMatches) {
+  const AnycastCensus census;
+  EXPECT_FALSE(census.is_anycast(IPv4Addr(1, 2, 3, 4), 100));
+  EXPECT_EQ(census.classify({IPv4Addr(1, 2, 3, 4)}, 100), AnycastClass::None);
+}
+
+TEST(Census, Slash24Matching) {
+  AnycastCensus census;
+  census.add_snapshot(snap(0, {IPv4Addr(10, 0, 0, 0)}));
+  EXPECT_TRUE(census.is_anycast(IPv4Addr(10, 0, 0, 99), 10));
+  EXPECT_FALSE(census.is_anycast(IPv4Addr(10, 0, 1, 99), 10));
+}
+
+TEST(Census, SnapshotSelectionByDay) {
+  AnycastCensus census;
+  census.add_snapshot(snap(100, {IPv4Addr(10, 0, 0, 0)}));
+  census.add_snapshot(snap(200, {IPv4Addr(20, 0, 0, 0)}));
+  // Days before all snapshots use the earliest (paper: Nov-Dec 2020 use
+  // the January 2021 census).
+  EXPECT_TRUE(census.is_anycast(IPv4Addr(10, 0, 0, 1), 50));
+  EXPECT_FALSE(census.is_anycast(IPv4Addr(20, 0, 0, 1), 50));
+  // Between snapshots: latest at-or-before.
+  EXPECT_TRUE(census.is_anycast(IPv4Addr(10, 0, 0, 1), 150));
+  EXPECT_FALSE(census.is_anycast(IPv4Addr(20, 0, 0, 1), 150));
+  // After the second snapshot: only the new /24 is flagged.
+  EXPECT_FALSE(census.is_anycast(IPv4Addr(10, 0, 0, 1), 250));
+  EXPECT_TRUE(census.is_anycast(IPv4Addr(20, 0, 0, 1), 250));
+  EXPECT_EQ(census.snapshot_count(), 2u);
+}
+
+TEST(Census, ClassifyBands) {
+  AnycastCensus census;
+  census.add_snapshot(snap(0, {IPv4Addr(10, 0, 0, 0), IPv4Addr(10, 0, 1, 0)}));
+  const IPv4Addr any1(10, 0, 0, 5), any2(10, 0, 1, 5), uni(99, 0, 0, 5);
+  EXPECT_EQ(census.classify({any1, any2}, 10), AnycastClass::Full);
+  EXPECT_EQ(census.classify({any1, uni}, 10), AnycastClass::Partial);
+  EXPECT_EQ(census.classify({uni}, 10), AnycastClass::None);
+  EXPECT_EQ(census.classify({}, 10), AnycastClass::None);
+}
+
+TEST(Census, ToStringLabels) {
+  EXPECT_STREQ(to_string(AnycastClass::None), "unicast");
+  EXPECT_STREQ(to_string(AnycastClass::Partial), "partial-anycast");
+  EXPECT_STREQ(to_string(AnycastClass::Full), "anycast");
+}
+
+TEST(Census, PaperCadence) {
+  const auto days = paper_census_days();
+  ASSERT_EQ(days.size(), 5u);  // Jan/Apr/Jul/Oct 2021 + Jan 2022
+  EXPECT_EQ(days.front(), netsim::month_start_day(2021, 1));
+  EXPECT_EQ(days.back(), netsim::month_start_day(2022, 1));
+  for (std::size_t i = 1; i < days.size(); ++i)
+    EXPECT_GT(days[i], days[i - 1]);
+}
+
+TEST(Census, FromRegistryDetectsAnycastOnly) {
+  dns::DnsRegistry registry;
+  dns::Nameserver any(IPv4Addr(10, 0, 0, 1),
+                      {dns::Site{"a", 1e5, 20.0, 1.0},
+                       dns::Site{"b", 1e5, 20.0, 1.0}});
+  dns::Nameserver uni(IPv4Addr(20, 0, 0, 1), {dns::Site{"a", 1e5, 20.0, 1.0}});
+  registry.add_nameserver(std::move(any));
+  registry.add_nameserver(std::move(uni));
+  registry.add_domain(dns::DomainName::must("x.com"),
+                      {IPv4Addr(10, 0, 0, 1), IPv4Addr(20, 0, 0, 1)});
+
+  const auto census =
+      AnycastCensus::from_registry(registry, {0}, /*recall=*/1.0, 7);
+  EXPECT_TRUE(census.is_anycast(IPv4Addr(10, 0, 0, 1), 0));
+  EXPECT_FALSE(census.is_anycast(IPv4Addr(20, 0, 0, 1), 0));
+}
+
+TEST(Census, RecallIsLowerBound) {
+  dns::DnsRegistry registry;
+  std::vector<IPv4Addr> ips;
+  for (int i = 0; i < 100; ++i) {
+    const IPv4Addr ip(10, 0, static_cast<std::uint8_t>(i), 1);
+    dns::Nameserver ns(ip, {dns::Site{"a", 1e5, 20.0, 1.0},
+                            dns::Site{"b", 1e5, 20.0, 1.0}});
+    registry.add_nameserver(std::move(ns));
+    ips.push_back(ip);
+    registry.add_domain(
+        dns::DomainName::must("d" + std::to_string(i) + ".com"), {ip});
+  }
+  const auto census =
+      AnycastCensus::from_registry(registry, {0}, /*recall=*/0.7, 7);
+  int detected = 0;
+  for (const auto& ip : ips) {
+    if (census.is_anycast(ip, 0)) ++detected;
+  }
+  EXPECT_GT(detected, 50);
+  EXPECT_LT(detected, 90);  // misses exist: the census is a lower bound
+}
+
+TEST(Census, RecallDrawStableWithinSnapshot) {
+  dns::DnsRegistry registry;
+  const IPv4Addr ip(10, 0, 0, 1);
+  dns::Nameserver ns(ip, {dns::Site{"a", 1e5, 20.0, 1.0},
+                          dns::Site{"b", 1e5, 20.0, 1.0}});
+  registry.add_nameserver(std::move(ns));
+  registry.add_domain(dns::DomainName::must("x.com"), {ip});
+  const auto c1 = AnycastCensus::from_registry(registry, {0, 90}, 0.5, 42);
+  const auto c2 = AnycastCensus::from_registry(registry, {0, 90}, 0.5, 42);
+  EXPECT_EQ(c1.is_anycast(ip, 0), c2.is_anycast(ip, 0));
+  EXPECT_EQ(c1.is_anycast(ip, 90), c2.is_anycast(ip, 90));
+}
+
+TEST(CensusProbing, DetectsMultiSiteMissesUnicast) {
+  dns::DnsRegistry registry;
+  dns::Nameserver any(IPv4Addr(10, 0, 0, 1),
+                      {dns::Site{"a", 1e5, 20.0, 1.0},
+                       dns::Site{"b", 1e5, 20.0, 1.0},
+                       dns::Site{"c", 1e5, 20.0, 1.0}});
+  dns::Nameserver uni(IPv4Addr(20, 0, 0, 1), {dns::Site{"a", 1e5, 20.0, 1.0}});
+  registry.add_nameserver(std::move(any));
+  registry.add_nameserver(std::move(uni));
+  registry.add_domain(dns::DomainName::must("x.com"),
+                      {IPv4Addr(10, 0, 0, 1), IPv4Addr(20, 0, 0, 1)});
+  const auto census = AnycastCensus::from_probing(registry, {0}, 8, 7);
+  EXPECT_TRUE(census.is_anycast(IPv4Addr(10, 0, 0, 1), 0));
+  EXPECT_FALSE(census.is_anycast(IPv4Addr(20, 0, 0, 1), 0));
+}
+
+TEST(CensusProbing, LowerBoundEmergesFromVantageCount) {
+  // With a single probing vantage, anycast is undetectable by definition;
+  // with two vantages, heavily skewed catchments are often missed.
+  dns::DnsRegistry registry;
+  int planted = 0;
+  for (int i = 0; i < 60; ++i) {
+    const IPv4Addr ip(10, 0, static_cast<std::uint8_t>(i), 1);
+    // Hot catchment site carries nearly all traffic.
+    dns::Nameserver ns(ip, {dns::Site{"hot", 1e5, 20.0, 30.0},
+                            dns::Site{"cold", 1e5, 20.0, 1.0}});
+    registry.add_nameserver(std::move(ns));
+    registry.add_domain(
+        dns::DomainName::must("d" + std::to_string(i) + ".com"), {ip});
+    ++planted;
+  }
+  const auto one = AnycastCensus::from_probing(registry, {0}, 1, 7);
+  const auto two = AnycastCensus::from_probing(registry, {0}, 2, 7);
+  const auto many = AnycastCensus::from_probing(registry, {0}, 64, 7);
+  int seen_one = 0, seen_two = 0, seen_many = 0;
+  for (int i = 0; i < planted; ++i) {
+    const IPv4Addr ip(10, 0, static_cast<std::uint8_t>(i), 1);
+    if (one.is_anycast(ip, 0)) ++seen_one;
+    if (two.is_anycast(ip, 0)) ++seen_two;
+    if (many.is_anycast(ip, 0)) ++seen_many;
+  }
+  EXPECT_EQ(seen_one, 0);
+  EXPECT_LT(seen_two, planted);   // the lower-bound property
+  EXPECT_GT(seen_many, seen_two);
+}
+
+TEST(CensusProbing, SkipsLameEntries) {
+  dns::DnsRegistry registry;
+  registry.add_domain(dns::DomainName::must("stale.com"),
+                      {IPv4Addr(66, 0, 0, 1)});  // no server registered
+  const auto census = AnycastCensus::from_probing(registry, {0}, 8, 7);
+  EXPECT_FALSE(census.is_anycast(IPv4Addr(66, 0, 0, 1), 0));
+}
+
+}  // namespace
+}  // namespace ddos::anycast

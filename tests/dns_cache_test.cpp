@@ -1,0 +1,133 @@
+#include "dns/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace ddos::dns {
+namespace {
+
+using netsim::SimTime;
+
+ResourceRecord rr(const char* owner, RRType type, std::uint32_t ttl,
+                  const char* rdata) {
+  return ResourceRecord{DomainName::must(owner), type, ttl, rdata};
+}
+
+TEST(Cache, MissOnEmpty) {
+  Cache cache;
+  EXPECT_FALSE(cache.get(DomainName::must("a.com"), RRType::A, SimTime(0)));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(Cache, PutThenHitWithinTtl) {
+  Cache cache;
+  cache.put(DomainName::must("a.com"), RRType::NS,
+            {rr("a.com", RRType::NS, 300, "ns1.a.com")}, SimTime(0));
+  const auto got = cache.get(DomainName::must("a.com"), RRType::NS, SimTime(299));
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got->size(), 1u);
+  EXPECT_EQ((*got)[0].rdata, "ns1.a.com");
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(Cache, ExpiresAtTtl) {
+  Cache cache;
+  cache.put(DomainName::must("a.com"), RRType::A,
+            {rr("a.com", RRType::A, 300, "1.2.3.4")}, SimTime(0));
+  EXPECT_FALSE(cache.get(DomainName::must("a.com"), RRType::A, SimTime(300)));
+  EXPECT_EQ(cache.size(), 0u);  // lazily pruned
+}
+
+TEST(Cache, MinTtlOfSetGoverns) {
+  Cache cache;
+  cache.put(DomainName::must("a.com"), RRType::NS,
+            {rr("a.com", RRType::NS, 600, "ns1"), rr("a.com", RRType::NS, 60, "ns2")},
+            SimTime(0));
+  EXPECT_TRUE(cache.get(DomainName::must("a.com"), RRType::NS, SimTime(59)));
+  EXPECT_FALSE(cache.get(DomainName::must("a.com"), RRType::NS, SimTime(60)));
+}
+
+TEST(Cache, KeyIncludesType) {
+  Cache cache;
+  cache.put(DomainName::must("a.com"), RRType::A,
+            {rr("a.com", RRType::A, 300, "1.2.3.4")}, SimTime(0));
+  EXPECT_FALSE(cache.get(DomainName::must("a.com"), RRType::NS, SimTime(1)));
+  EXPECT_TRUE(cache.get(DomainName::must("a.com"), RRType::A, SimTime(1)));
+}
+
+TEST(Cache, RemainingTtl) {
+  Cache cache;
+  cache.put(DomainName::must("a.com"), RRType::A,
+            {rr("a.com", RRType::A, 300, "1.2.3.4")}, SimTime(100));
+  EXPECT_EQ(cache.remaining_ttl(DomainName::must("a.com"), RRType::A,
+                                SimTime(150)),
+            250);
+  EXPECT_EQ(cache.remaining_ttl(DomainName::must("a.com"), RRType::A,
+                                SimTime(500)),
+            0);
+  EXPECT_EQ(cache.remaining_ttl(DomainName::must("b.com"), RRType::A,
+                                SimTime(0)),
+            0);
+}
+
+TEST(Cache, PurgeExpired) {
+  Cache cache;
+  cache.put(DomainName::must("a.com"), RRType::A,
+            {rr("a.com", RRType::A, 100, "x")}, SimTime(0));
+  cache.put(DomainName::must("b.com"), RRType::A,
+            {rr("b.com", RRType::A, 500, "y")}, SimTime(0));
+  EXPECT_EQ(cache.purge_expired(SimTime(200)), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.get(DomainName::must("b.com"), RRType::A, SimTime(200)));
+}
+
+TEST(Cache, CapacityEvictsEarliestExpiry) {
+  Cache cache(2);
+  cache.put(DomainName::must("soon.com"), RRType::A,
+            {rr("soon.com", RRType::A, 10, "x")}, SimTime(0));
+  cache.put(DomainName::must("later.com"), RRType::A,
+            {rr("later.com", RRType::A, 1000, "y")}, SimTime(0));
+  cache.put(DomainName::must("new.com"), RRType::A,
+            {rr("new.com", RRType::A, 500, "z")}, SimTime(0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.get(DomainName::must("soon.com"), RRType::A, SimTime(1)));
+  EXPECT_TRUE(cache.get(DomainName::must("later.com"), RRType::A, SimTime(1)));
+  EXPECT_TRUE(cache.get(DomainName::must("new.com"), RRType::A, SimTime(1)));
+}
+
+TEST(Cache, OverwriteSameKeyDoesNotEvict) {
+  Cache cache(1);
+  cache.put(DomainName::must("a.com"), RRType::A,
+            {rr("a.com", RRType::A, 100, "x")}, SimTime(0));
+  cache.put(DomainName::must("a.com"), RRType::A,
+            {rr("a.com", RRType::A, 200, "y")}, SimTime(0));
+  const auto got = cache.get(DomainName::must("a.com"), RRType::A, SimTime(150));
+  ASSERT_TRUE(got);
+  EXPECT_EQ((*got)[0].rdata, "y");
+}
+
+TEST(Cache, EmptyRecordSetExpiresImmediately) {
+  Cache cache;
+  cache.put(DomainName::must("a.com"), RRType::A, {}, SimTime(0));
+  EXPECT_FALSE(cache.get(DomainName::must("a.com"), RRType::A, SimTime(0)));
+}
+
+TEST(Cache, CachingMasksAttackWindow) {
+  // §2.2 / §6.3.1: a cached popular domain survives an attack shorter than
+  // its TTL. Model: record cached at t=0 with TTL 3600; the attack lasts
+  // 1800s; every lookup inside the attack is a hit (no query needed).
+  Cache cache;
+  cache.put(DomainName::must("popular.com"), RRType::A,
+            {rr("popular.com", RRType::A, 3600, "9.9.9.9")}, SimTime(0));
+  for (std::int64_t t = 60; t < 1800; t += 60) {
+    EXPECT_TRUE(cache.get(DomainName::must("popular.com"), RRType::A,
+                          SimTime(t)));
+  }
+  // A low-TTL (CDN-style) record would have needed re-resolution mid-attack.
+  cache.put(DomainName::must("cdn.com"), RRType::A,
+            {rr("cdn.com", RRType::A, 60, "8.8.8.8")}, SimTime(0));
+  EXPECT_FALSE(cache.get(DomainName::must("cdn.com"), RRType::A, SimTime(120)));
+}
+
+}  // namespace
+}  // namespace ddos::dns

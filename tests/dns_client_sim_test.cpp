@@ -1,0 +1,116 @@
+#include "dns/client_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace ddos::dns {
+namespace {
+
+ClientSimParams base_params() {
+  ClientSimParams p;
+  p.resolvers = 300;
+  p.queries_per_resolver_hz = 0.05;
+  p.record_ttl_s = 3600;
+  p.upstream_attempts = 3;
+  p.attack_duration_s = 2 * 3600;
+  p.seed = 5;
+  return p;
+}
+
+TEST(ClientSim, NoLossNoFailures) {
+  ClientSimParams p = base_params();
+  p.upstream_loss = 0.0;
+  const auto r = simulate_client_population(p);
+  EXPECT_GT(r.queries_during_attack, 1000u);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_DOUBLE_EQ(r.user_failure_rate(), 0.0);
+}
+
+TEST(ClientSim, DikeHolds_FiftyPercentLossBarelyFelt) {
+  // Moura et al. 2018: with caching, ~50% packet loss at the authoritative
+  // is almost invisible to end users.
+  ClientSimParams p = base_params();
+  p.upstream_loss = 0.5;
+  const auto r = simulate_client_population(p);
+  EXPECT_LT(r.user_failure_rate(), 0.01);
+  EXPECT_GT(r.cache_hit_rate(), 0.95);
+}
+
+TEST(ClientSim, DikeBreaks_NearTotalLossHurts) {
+  ClientSimParams p = base_params();
+  p.upstream_loss = 0.995;
+  p.record_ttl_s = 60;  // CDN-style low TTL
+  const auto r = simulate_client_population(p);
+  EXPECT_GT(r.user_failure_rate(), 0.3);
+}
+
+TEST(ClientSim, HigherTtlTolerantUnderSameLoss) {
+  ClientSimParams p = base_params();
+  p.upstream_loss = 0.9;
+  p.record_ttl_s = 60;
+  const double low_ttl = simulate_client_population(p).user_failure_rate();
+  p.record_ttl_s = 7200;
+  p.seed = 5;
+  const double high_ttl = simulate_client_population(p).user_failure_rate();
+  EXPECT_GT(low_ttl, high_ttl * 3.0);
+}
+
+TEST(ClientSim, QueriesPartition) {
+  ClientSimParams p = base_params();
+  p.upstream_loss = 0.8;
+  const auto r = simulate_client_population(p);
+  EXPECT_EQ(r.queries_during_attack,
+            r.served_from_cache + r.resolved_upstream + r.failed);
+}
+
+TEST(ClientSim, Deterministic) {
+  const ClientSimParams p = base_params();
+  const auto a = simulate_client_population(p);
+  const auto b = simulate_client_population(p);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.queries_during_attack, b.queries_during_attack);
+}
+
+TEST(ClientSim, AnalyticalModelMatchesSimulation) {
+  for (const double loss : {0.3, 0.5, 0.8, 0.95}) {
+    ClientSimParams p = base_params();
+    p.resolvers = 2000;  // tight sampling
+    p.upstream_loss = loss;
+    p.record_ttl_s = 600;
+    p.attack_duration_s = 6 * 3600;
+    const double simulated =
+        simulate_client_population(p).user_failure_rate();
+    const double analytical = expected_user_failure_rate(p);
+    EXPECT_NEAR(simulated, analytical, std::max(0.002, analytical * 0.4))
+        << "loss=" << loss;
+  }
+}
+
+TEST(ClientSim, AnalyticalEdgeCases) {
+  ClientSimParams p = base_params();
+  p.upstream_loss = 0.0;
+  EXPECT_DOUBLE_EQ(expected_user_failure_rate(p), 0.0);
+  p.queries_per_resolver_hz = 0.0;
+  EXPECT_DOUBLE_EQ(expected_user_failure_rate(p), 0.0);
+}
+
+// Property: failure rate is monotone non-decreasing in loss.
+class ClientSimLossSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClientSimLossSweep, MonotoneInLoss) {
+  double prev = -1.0;
+  for (const double loss : {0.0, 0.5, 0.9, 0.99, 0.999}) {
+    ClientSimParams p = base_params();
+    p.seed = GetParam();
+    p.resolvers = 500;
+    p.record_ttl_s = 300;
+    p.upstream_loss = loss;
+    const double rate = simulate_client_population(p).user_failure_rate();
+    EXPECT_GE(rate, prev - 0.01) << "loss=" << loss;
+    prev = rate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClientSimLossSweep, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace ddos::dns

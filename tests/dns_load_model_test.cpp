@@ -1,0 +1,94 @@
+#include "dns/load_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ddos::dns {
+namespace {
+
+TEST(LoadModel, IdleServerHasNoInflation) {
+  const LoadModelParams params;
+  EXPECT_DOUBLE_EQ(rtt_multiplier(0.0, params), 1.0);
+  EXPECT_DOUBLE_EQ(rtt_multiplier(-1.0, params), 1.0);
+}
+
+TEST(LoadModel, ModerateLoadSmallInflation) {
+  const LoadModelParams params;
+  EXPECT_LT(rtt_multiplier(0.5, params), 1.5);
+  EXPECT_GT(rtt_multiplier(0.5, params), 1.0);
+}
+
+TEST(LoadModel, NearSaturationExplodes) {
+  const LoadModelParams params;
+  // The paper's 10x and 100x regimes live close to saturation.
+  EXPECT_GT(rtt_multiplier(0.97, params), 10.0);
+  EXPECT_GT(rtt_multiplier(0.999, params), 100.0);
+}
+
+TEST(LoadModel, SaturationCapped) {
+  const LoadModelParams params;
+  EXPECT_DOUBLE_EQ(rtt_multiplier(1.0, params), params.max_inflation);
+  EXPECT_DOUBLE_EQ(rtt_multiplier(50.0, params), params.max_inflation);
+}
+
+TEST(LoadModel, LinearLawNeverExplodes) {
+  const LoadModelParams params;
+  // The ablation comparator: even at 100x overload, latency grows mildly —
+  // which is why it cannot reproduce the paper's impact tail.
+  EXPECT_LT(rtt_multiplier(0.999, params, InflationLaw::Linear), 2.0);
+  EXPECT_LT(rtt_multiplier(100.0, params, InflationLaw::Linear),
+            params.max_inflation + 1.0);
+}
+
+TEST(LoadModel, ResponseProbabilityRegimes) {
+  const LoadModelParams params;  // loss_onset = 0.90
+  EXPECT_DOUBLE_EQ(response_probability(0.0, params), 1.0);
+  EXPECT_DOUBLE_EQ(response_probability(0.90, params), 1.0);
+  EXPECT_NEAR(response_probability(0.95, params), 0.975, 1e-12);
+  EXPECT_NEAR(response_probability(1.0, params), 0.95, 1e-12);
+  EXPECT_NEAR(response_probability(2.0, params), 0.475, 1e-12);
+  EXPECT_NEAR(response_probability(10.0, params), 0.095, 1e-12);
+}
+
+TEST(LoadModel, ResponseProbabilityContinuousAtSaturation) {
+  const LoadModelParams params;
+  const double left = response_probability(1.0 - 1e-9, params);
+  const double right = response_probability(1.0 + 1e-9, params);
+  EXPECT_NEAR(left, right, 1e-6);
+}
+
+TEST(LoadModel, Utilisation) {
+  EXPECT_DOUBLE_EQ(utilisation(50e3, 10e3, 120e3), 0.5);
+  EXPECT_DOUBLE_EQ(utilisation(0.0, 0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(utilisation(-5.0, -5.0, 100.0), 0.0);  // guards negatives
+  EXPECT_GT(utilisation(1.0, 0.0, 0.0), 1e6);  // zero capacity saturates
+  EXPECT_DOUBLE_EQ(utilisation(0.0, 0.0, 0.0), 0.0);
+}
+
+// Property sweep: the multiplier is monotone non-decreasing in rho and
+// bounded by [1, max_inflation]; response probability is non-increasing.
+class LoadModelMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoadModelMonotone, MultiplierMonotoneBounded) {
+  LoadModelParams params;
+  params.kappa = GetParam();
+  double prev_mult = 0.0;
+  double prev_p = 2.0;
+  for (double rho = 0.0; rho <= 3.0; rho += 0.01) {
+    const double mult = rtt_multiplier(rho, params);
+    const double p = response_probability(rho, params);
+    EXPECT_GE(mult, 1.0);
+    EXPECT_LE(mult, params.max_inflation);
+    EXPECT_GE(mult, prev_mult - 1e-12);
+    EXPECT_LE(p, prev_p + 1e-12);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev_mult = mult;
+    prev_p = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kappas, LoadModelMonotone,
+                         ::testing::Values(0.1, 0.35, 1.0, 2.0));
+
+}  // namespace
+}  // namespace ddos::dns

@@ -1,0 +1,167 @@
+#include "dns/resolver.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ddos::dns {
+namespace {
+
+using netsim::IPv4Addr;
+using netsim::Rng;
+
+std::vector<Nameserver> make_set(int n, double capacity = 50e3) {
+  std::vector<Nameserver> out;
+  for (int i = 0; i < n; ++i) {
+    Nameserver ns(IPv4Addr(10, 0, 0, static_cast<std::uint8_t>(i + 1)),
+                  {Site{"x", capacity, 20.0, 1.0}});
+    ns.set_legit_pps(1e3);
+    out.push_back(std::move(ns));
+  }
+  return out;
+}
+
+std::vector<const Nameserver*> ptrs(const std::vector<Nameserver>& v) {
+  std::vector<const Nameserver*> out;
+  for (const auto& ns : v) out.push_back(&ns);
+  return out;
+}
+
+TEST(Resolver, RejectsBadInputs) {
+  const AgnosticResolver resolver;
+  Rng rng(1);
+  EXPECT_THROW(resolver.resolve(rng, {}, {}, LoadModelParams{}),
+               std::invalid_argument);
+  const auto set = make_set(2);
+  EXPECT_THROW(resolver.resolve(rng, ptrs(set), {OfferedLoad{}},
+                                LoadModelParams{}),
+               std::invalid_argument);
+  ResolverParams bad;
+  bad.max_attempts = 0;
+  EXPECT_THROW(AgnosticResolver{bad}, std::invalid_argument);
+}
+
+TEST(Resolver, HealthySetResolvesOk) {
+  const auto set = make_set(3);
+  const AgnosticResolver resolver;
+  Rng rng(2);
+  const std::vector<OfferedLoad> loads(3);
+  for (int i = 0; i < 500; ++i) {
+    const auto res = resolver.resolve(rng, ptrs(set), loads, LoadModelParams{});
+    EXPECT_EQ(res.status, ResponseStatus::Ok);
+    EXPECT_EQ(res.attempts, 1);
+    EXPECT_NEAR(res.rtt_ms, 20.0, 10.0);
+  }
+}
+
+TEST(Resolver, AgnosticChoiceIsUniform) {
+  const auto set = make_set(3);
+  const AgnosticResolver resolver;
+  Rng rng(3);
+  const std::vector<OfferedLoad> loads(3);
+  std::map<std::uint32_t, int> chosen;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const auto res = resolver.resolve(rng, ptrs(set), loads, LoadModelParams{});
+    ++chosen[res.chosen_ns.value()];
+  }
+  ASSERT_EQ(chosen.size(), 3u);
+  for (const auto& [ip, c] : chosen) EXPECT_NEAR(c, n / 3, n / 3 * 0.08);
+}
+
+TEST(Resolver, RetriesAnotherServerWhenOneIsDead) {
+  auto set = make_set(2);
+  const AgnosticResolver resolver;
+  Rng rng(4);
+  // Server 0 is hopelessly overloaded, server 1 idle.
+  const std::vector<OfferedLoad> loads = {OfferedLoad{50e6, 0.0},
+                                          OfferedLoad{}};
+  int ok = 0, with_retry = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto res = resolver.resolve(rng, ptrs(set), loads, LoadModelParams{});
+    if (res.status == ResponseStatus::Ok) {
+      ++ok;
+      if (res.attempts > 1) {
+        ++with_retry;
+        // A retried resolution carries the timeout in its elapsed RTT —
+        // exactly how attacks surface in Impact_on_RTT.
+        EXPECT_GT(res.rtt_ms, 1500.0);
+      }
+    }
+  }
+  EXPECT_GT(ok, 1900);        // the healthy server saves almost everything
+  EXPECT_GT(with_retry, 700); // about half the first picks hit the dead one
+}
+
+TEST(Resolver, AllDeadYieldsTimeoutWithFullElapsed) {
+  const auto set = make_set(2);
+  ResolverParams params;
+  params.max_attempts = 3;
+  const AgnosticResolver resolver(params);
+  Rng rng(5);
+  const std::vector<OfferedLoad> loads = {OfferedLoad{50e6, 0.0},
+                                          OfferedLoad{50e6, 0.0}};
+  int timeouts = 0, servfails = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto res = resolver.resolve(rng, ptrs(set), loads, LoadModelParams{});
+    if (res.status == ResponseStatus::Timeout) {
+      ++timeouts;
+      EXPECT_DOUBLE_EQ(res.rtt_ms, 3 * params.attempt_timeout_ms);
+      EXPECT_EQ(res.attempts, 3);
+    } else if (res.status == ResponseStatus::ServFail) {
+      ++servfails;
+    }
+  }
+  EXPECT_GT(timeouts, 850);
+  EXPECT_GT(servfails, 10);  // fast backend errors still get through
+}
+
+TEST(Resolver, SlowAnswersCountAsTimeouts) {
+  // A server at rho ~0.999 "answers", but its latency (~400x of 20ms =
+  // 8s) exceeds the attempt budget, so the resolver must classify the
+  // resolution as a timeout rather than record an 8-second RTT.
+  const auto set = make_set(1);
+  const AgnosticResolver resolver;
+  Rng rng(6);
+  const std::vector<OfferedLoad> loads = {OfferedLoad{50e3 * 400, 0.0}};
+  for (int i = 0; i < 500; ++i) {
+    const auto res = resolver.resolve(rng, ptrs(set), loads, LoadModelParams{});
+    if (res.status == ResponseStatus::Ok) {
+      EXPECT_LE(res.rtt_ms, 3 * 1500.0);
+    }
+  }
+}
+
+TEST(Resolver, DeterministicGivenRngState) {
+  const auto set = make_set(3);
+  const AgnosticResolver resolver;
+  const std::vector<OfferedLoad> loads(3);
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    const auto ra = resolver.resolve(a, ptrs(set), loads, LoadModelParams{});
+    const auto rb = resolver.resolve(b, ptrs(set), loads, LoadModelParams{});
+    EXPECT_EQ(ra.status, rb.status);
+    EXPECT_DOUBLE_EQ(ra.rtt_ms, rb.rtt_ms);
+    EXPECT_EQ(ra.chosen_ns, rb.chosen_ns);
+  }
+}
+
+TEST(Resolver, SingleServerRetriesItself) {
+  const auto set = make_set(1);
+  ResolverParams params;
+  params.max_attempts = 3;
+  const AgnosticResolver resolver(params);
+  Rng rng(8);
+  // rho ~1.05: answers ~90% of attempts but with dead latency sometimes.
+  const std::vector<OfferedLoad> loads = {OfferedLoad{51e3, 0.0}};
+  int ok_after_retry = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const auto res = resolver.resolve(rng, ptrs(set), loads, LoadModelParams{});
+    if (res.status == ResponseStatus::Ok && res.attempts > 1)
+      ++ok_after_retry;
+  }
+  EXPECT_GT(ok_after_retry, 0);  // the same server is retried and can recover
+}
+
+}  // namespace
+}  // namespace ddos::dns

@@ -1,0 +1,197 @@
+#include "dns/server.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ddos::dns {
+namespace {
+
+using netsim::IPv4Addr;
+using netsim::Rng;
+using netsim::SimTime;
+
+Nameserver make_unicast(double capacity = 50e3, double base_rtt = 20.0) {
+  Nameserver ns(IPv4Addr(10, 0, 0, 1),
+                {Site{"AMS", capacity, base_rtt, 1.0}});
+  ns.set_legit_pps(1e3);
+  return ns;
+}
+
+Nameserver make_anycast(std::size_t sites, double capacity = 50e3) {
+  std::vector<Site> s;
+  for (std::size_t i = 0; i < sites; ++i) {
+    s.push_back(Site{"s" + std::to_string(i), capacity, 20.0, 1.0});
+  }
+  return Nameserver(IPv4Addr(10, 0, 0, 2), std::move(s));
+}
+
+TEST(Nameserver, RequiresAtLeastOneSite) {
+  EXPECT_THROW(Nameserver(IPv4Addr(1, 1, 1, 1), {}), std::invalid_argument);
+}
+
+TEST(Nameserver, RejectsDegenerateCatchment) {
+  EXPECT_THROW(
+      Nameserver(IPv4Addr(1, 1, 1, 1), {Site{"x", 1e3, 20.0, 0.0}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      Nameserver(IPv4Addr(1, 1, 1, 1), {Site{"x", 1e3, 20.0, -1.0}}),
+      std::invalid_argument);
+}
+
+TEST(Nameserver, AnycastFlag) {
+  EXPECT_FALSE(make_unicast().anycast());
+  EXPECT_TRUE(make_anycast(5).anycast());
+}
+
+TEST(Nameserver, UnloadedQueryRespondsNearBaseRtt) {
+  const Nameserver ns = make_unicast();
+  Rng rng(1);
+  int responded = 0;
+  double rtt_sum = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto q = ns.query(rng, OfferedLoad{}, LoadModelParams{});
+    if (q.responded && !q.servfail) {
+      ++responded;
+      rtt_sum += q.rtt_ms;
+    }
+  }
+  EXPECT_EQ(responded, 2000);
+  EXPECT_NEAR(rtt_sum / responded, 20.0, 1.0);
+}
+
+TEST(Nameserver, SaturatedServerDropsAndInflates) {
+  const Nameserver ns = make_unicast(50e3);
+  Rng rng(2);
+  const OfferedLoad load{500e3, 0.0};  // 10x capacity
+  int responded = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto q = ns.query(rng, load, LoadModelParams{});
+    if (q.responded && !q.servfail) {
+      ++responded;
+      EXPECT_GT(q.rtt_ms, 100.0);  // inflated far beyond the 20ms base
+    }
+  }
+  // Response probability ~0.95/10, so roughly 10% answer.
+  EXPECT_NEAR(responded, 190, 80);
+}
+
+TEST(Nameserver, ServfailShareUnderOverload) {
+  const Nameserver ns = make_unicast(50e3);
+  Rng rng(3);
+  const OfferedLoad load{5e6, 0.0};  // hopeless overload
+  int servfails = 0, total = 20000;
+  for (int i = 0; i < total; ++i) {
+    const auto q = ns.query(rng, load, LoadModelParams{});
+    if (q.responded && q.servfail) {
+      ++servfails;
+      // SERVFAIL is a fast backend error, not a queued response.
+      EXPECT_LT(q.rtt_ms, 100.0);
+    }
+  }
+  // ~2.8% of lost queries surface as SERVFAIL.
+  EXPECT_NEAR(servfails, total * 0.028, total * 0.01);
+}
+
+TEST(Nameserver, SharedLinkCongestionAloneDegrades) {
+  const Nameserver ns = make_unicast();
+  Rng rng(4);
+  const OfferedLoad load{0.0, 0.97};  // only the /24 uplink is congested
+  double sum = 0.0;
+  int n = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto q = ns.query(rng, load, LoadModelParams{});
+    if (q.responded && !q.servfail) {
+      sum += q.rtt_ms;
+      ++n;
+    }
+  }
+  EXPECT_GT(sum / n, 100.0);  // ~12x inflation from the link queue
+}
+
+TEST(Nameserver, AnycastSpreadsAttackAcrossSites) {
+  // 10 sites x 50K capacity; a 300K flood is 30K/site (rho 0.6) — harmless.
+  const Nameserver any = make_anycast(10);
+  const Nameserver uni = make_unicast();
+  Rng rng(5);
+  const OfferedLoad load{300e3, 0.0};
+  double any_sum = 0.0, uni_sum = 0.0;
+  int any_n = 0, uni_n = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto qa = any.query(rng, load, LoadModelParams{});
+    if (qa.responded && !qa.servfail) {
+      any_sum += qa.rtt_ms;
+      ++any_n;
+    }
+    const auto qu = uni.query(rng, load, LoadModelParams{});
+    if (qu.responded && !qu.servfail) {
+      uni_sum += qu.rtt_ms;
+      ++uni_n;
+    }
+  }
+  ASSERT_GT(any_n, 0);
+  EXPECT_LT(any_sum / any_n, 40.0);  // anycast shrugs it off (Fig. 11)
+  // The unicast server at rho ~6 rarely answers, and slowly when it does.
+  EXPECT_LT(uni_n, any_n / 2);
+}
+
+TEST(Nameserver, VantageSiteIsStable) {
+  const Nameserver ns = make_anycast(8);
+  const std::size_t site = ns.vantage_site(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ns.vantage_site(42), site);
+}
+
+TEST(Nameserver, DifferentVantagesSpreadOverSites) {
+  const Nameserver ns = make_anycast(8);
+  std::set<std::size_t> sites;
+  for (std::uint64_t v = 0; v < 200; ++v) sites.insert(ns.vantage_site(v));
+  EXPECT_GT(sites.size(), 4u);  // catchment splits vantage points
+}
+
+TEST(Nameserver, SiteUtilisationUsesCatchmentShare) {
+  Nameserver ns(IPv4Addr(10, 0, 0, 3),
+                {Site{"a", 100e3, 20.0, 3.0}, Site{"b", 100e3, 20.0, 1.0}});
+  ns.set_legit_pps(0.0);
+  const OfferedLoad load{100e3, 0.0};
+  EXPECT_NEAR(ns.site_utilisation(0, load, LoadModelParams{}), 0.75, 1e-12);
+  EXPECT_NEAR(ns.site_utilisation(1, load, LoadModelParams{}), 0.25, 1e-12);
+}
+
+TEST(Nameserver, GeofenceBlocksForeignVantagesDuringInterval) {
+  Nameserver ns = make_unicast();
+  ns.set_home_country("RU");
+  ns.set_geofence_interval(SimTime(1000), SimTime(2000));
+  Rng rng(6);
+  // Outside the interval: answers.
+  EXPECT_TRUE(ns.query(rng, OfferedLoad{}, LoadModelParams{}, SimTime(500), 0,
+                       "NL")
+                  .responded);
+  // Inside: silence for NL, answers for RU.
+  EXPECT_FALSE(ns.query(rng, OfferedLoad{}, LoadModelParams{}, SimTime(1500),
+                        0, "NL")
+                   .responded);
+  EXPECT_TRUE(ns.query(rng, OfferedLoad{}, LoadModelParams{}, SimTime(1500),
+                       0, "RU")
+                  .responded);
+  // After: answers again.
+  EXPECT_TRUE(ns.query(rng, OfferedLoad{}, LoadModelParams{}, SimTime(2000),
+                       0, "NL")
+                  .responded);
+}
+
+TEST(Nameserver, GeofencedAtBoundaries) {
+  Nameserver ns = make_unicast();
+  ns.set_geofence_interval(SimTime(10), SimTime(20));
+  EXPECT_FALSE(ns.geofenced_at(SimTime(9)));
+  EXPECT_TRUE(ns.geofenced_at(SimTime(10)));
+  EXPECT_TRUE(ns.geofenced_at(SimTime(19)));
+  EXPECT_FALSE(ns.geofenced_at(SimTime(20)));
+}
+
+TEST(Nameserver, NoGeofenceByDefault) {
+  const Nameserver ns = make_unicast();
+  EXPECT_FALSE(ns.geofenced_at(SimTime(0)));
+}
+
+}  // namespace
+}  // namespace ddos::dns

@@ -1,0 +1,147 @@
+#include "dns/zonefile.h"
+
+#include <gtest/gtest.h>
+
+#include "scenario/world.h"
+
+namespace ddos::dns {
+namespace {
+
+using netsim::IPv4Addr;
+
+struct Fixture {
+  DnsRegistry registry;
+
+  Fixture() {
+    const auto add_ns = [&](IPv4Addr ip, const char* host) {
+      registry.add_nameserver(
+          Nameserver(ip, {Site{"x", 50e3, 20.0, 1.0}}, host));
+    };
+    add_ns(IPv4Addr(10, 0, 0, 1), "ns1.alpha.example");
+    add_ns(IPv4Addr(10, 0, 0, 2), "ns2.alpha.example");
+    add_ns(IPv4Addr(20, 0, 0, 1), "ns1.beta.example");
+    registry.add_domain(DomainName::must("aap.nl"),
+                        {IPv4Addr(10, 0, 0, 1), IPv4Addr(10, 0, 0, 2)});
+    registry.add_domain(DomainName::must("noot.nl"),
+                        {IPv4Addr(20, 0, 0, 1)});
+    registry.add_domain(DomainName::must("mies.com"),
+                        {IPv4Addr(10, 0, 0, 1)});
+  }
+};
+
+TEST(ZoneFile, ExportFiltersByTld) {
+  Fixture fx;
+  const std::string zone = export_zone_file(fx.registry, "nl");
+  EXPECT_NE(zone.find("aap.nl. 3600 IN NS ns1.alpha.example."),
+            std::string::npos);
+  EXPECT_NE(zone.find("noot.nl. 3600 IN NS ns1.beta.example."),
+            std::string::npos);
+  EXPECT_EQ(zone.find("mies.com"), std::string::npos);
+  // Glue present for referenced hosts only.
+  EXPECT_NE(zone.find("ns1.alpha.example. 3600 IN A 10.0.0.1"),
+            std::string::npos);
+}
+
+TEST(ZoneFile, RoundTripRecoversDelegations) {
+  Fixture fx;
+  const std::string zone = export_zone_file(fx.registry, "nl");
+  const auto parsed = parse_zone_file(zone);
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->delegations.size(), 2u);
+  const auto resolved = parsed->resolved_delegations();
+  ASSERT_EQ(resolved.size(), 2u);
+  for (const auto& [domain, ips] : resolved) {
+    const auto expect = fx.registry.nsset_key(
+        fx.registry.nsset_of_domain(domain.str() == "aap.nl" ? 0 : 1));
+    EXPECT_EQ(ips, expect.ips) << domain.str();
+  }
+}
+
+TEST(ZoneFile, LameEntriesGetSynthesisedHosts) {
+  Fixture fx;
+  fx.registry.add_domain(DomainName::must("stale.nl"),
+                         {IPv4Addr(10, 0, 0, 1), IPv4Addr(66, 6, 6, 6)});
+  const std::string zone = export_zone_file(fx.registry, "nl");
+  EXPECT_NE(zone.find("ns-66-6-6-6.lame.invalid"), std::string::npos);
+  const auto parsed = parse_zone_file(zone);
+  ASSERT_TRUE(parsed);
+  // The lame host still has glue (the stale address), so the delegation
+  // resolves to both addresses — exactly what a measurement platform sees.
+  for (const auto& [domain, ips] : parsed->resolved_delegations()) {
+    if (domain.str() == "stale.nl") {
+      EXPECT_EQ(ips.size(), 2u);
+    }
+  }
+}
+
+TEST(ZoneFile, ParseSkipsCommentsAndBlanks) {
+  const auto parsed = parse_zone_file(
+      "; a comment\n"
+      "\n"
+      "x.nl. 300 IN NS ns1.h.example.\n"
+      "ns1.h.example. 300 IN A 1.2.3.4\n");
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->delegations.size(), 1u);
+  EXPECT_EQ(parsed->delegations[0].ns_hosts[0], "ns1.h.example");
+  const auto resolved = parsed->resolved_delegations();
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(resolved[0].second[0], IPv4Addr(1, 2, 3, 4));
+}
+
+TEST(ZoneFile, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_zone_file("x.nl. 300 IN NS\n"));       // missing rdata
+  EXPECT_FALSE(parse_zone_file("x.nl. ttl IN NS a.b.\n"));  // bad ttl
+  EXPECT_FALSE(parse_zone_file("x.nl. 300 XX NS a.b.\n"));  // class
+  EXPECT_FALSE(parse_zone_file("x.nl. 300 IN MX a.b.\n"));  // unsupported
+  EXPECT_FALSE(parse_zone_file("x.nl. 300 IN A 1.2.3.999\n"));
+}
+
+TEST(ZoneFile, MultiNsDelegationGroups) {
+  const auto parsed = parse_zone_file(
+      "x.nl. 300 IN NS ns1.h.example.\n"
+      "x.nl. 300 IN NS ns2.h.example.\n"
+      "ns1.h.example. 300 IN A 1.1.1.2\n"
+      "ns2.h.example. 300 IN A 1.1.1.3\n");
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->delegations.size(), 1u);
+  EXPECT_EQ(parsed->delegations[0].ns_hosts.size(), 2u);
+  EXPECT_EQ(parsed->resolved_delegations()[0].second.size(), 2u);
+}
+
+TEST(ZoneFile, MissingGlueYieldsEmptyResolution) {
+  const auto parsed =
+      parse_zone_file("x.nl. 300 IN NS ns1.offsite.example.\n");
+  ASSERT_TRUE(parsed);
+  const auto resolved = parsed->resolved_delegations();
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_TRUE(resolved[0].second.empty());
+}
+
+TEST(ZoneFile, SyntheticWorldRoundTrip) {
+  scenario::WorldParams params = scenario::small_world_params(31);
+  params.domain_count = 1500;
+  const auto world = scenario::build_world(params);
+  const std::string zone = export_zone_file(world->registry, "nl");
+  const auto parsed = parse_zone_file(zone);
+  ASSERT_TRUE(parsed);
+  EXPECT_GT(parsed->delegations.size(), 50u);
+  // Every resolved delegation must match the registry's NSSet.
+  std::size_t checked = 0;
+  for (const auto& [domain, ips] : parsed->resolved_delegations()) {
+    for (DomainId d = 0; d < world->registry.end_domain(); ++d) {
+      if (world->registry.domain_name(d) == domain) {
+        EXPECT_EQ(ips,
+                  world->registry.nsset_key(world->registry.nsset_of_domain(d))
+                      .ips)
+            << domain.str();
+        ++checked;
+        break;
+      }
+    }
+    if (checked > 40) break;  // spot-check is enough
+  }
+  EXPECT_GT(checked, 20u);
+}
+
+}  // namespace
+}  // namespace ddos::dns

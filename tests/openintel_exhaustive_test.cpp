@@ -1,0 +1,110 @@
+// NS-exhaustive measurement (§9 future work): per-server visibility that
+// the agnostic single-pick resolution cannot provide.
+#include <gtest/gtest.h>
+
+#include "openintel/sweeper.h"
+
+namespace ddos::openintel {
+namespace {
+
+using netsim::IPv4Addr;
+using netsim::SimTime;
+
+struct Fixture {
+  dns::DnsRegistry registry;
+  attack::AttackSchedule schedule;
+  const IPv4Addr healthy{10, 0, 0, 1};
+  const IPv4Addr attacked{10, 0, 0, 2};
+
+  Fixture() {
+    for (const auto& ip : {healthy, attacked}) {
+      dns::Nameserver ns(ip, {dns::Site{"x", 50e3, 20.0, 1.0}});
+      ns.set_legit_pps(1e3);
+      registry.add_nameserver(std::move(ns));
+    }
+    registry.add_domain(dns::DomainName::must("victim.com"),
+                        {healthy, attacked});
+    attack::AttackSpec spec;
+    spec.target = attacked;
+    spec.start = SimTime(0);
+    spec.duration_s = 3600;
+    spec.peak_pps = 50e6;  // hopeless
+    spec.steady = true;
+    schedule.add(spec);
+  }
+
+  Sweeper sweeper() const {
+    SweeperParams params;
+    params.seed = 3;
+    return Sweeper(registry, schedule, params);
+  }
+};
+
+TEST(Exhaustive, SeparatesHealthyFromAttackedServer) {
+  const Fixture fx;
+  const auto sweeper = fx.sweeper();
+  int healthy_ok = 0, attacked_ok = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto outcomes =
+        sweeper.measure_exhaustive(0, SimTime(10 + i));
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (const auto& o : outcomes) {
+      if (o.ns == fx.healthy && o.status == dns::ResponseStatus::Ok)
+        ++healthy_ok;
+      if (o.ns == fx.attacked && o.status == dns::ResponseStatus::Ok)
+        ++attacked_ok;
+    }
+  }
+  EXPECT_GT(healthy_ok, 190);
+  EXPECT_LT(attacked_ok, 20);
+}
+
+TEST(Exhaustive, AgnosticViewCannotAttributeTheFailure) {
+  // The agnostic resolution succeeds via retries (one server healthy), so
+  // the single-pick record never says *which* server is down — exactly the
+  // limitation §4.3 describes and measure_exhaustive removes.
+  const Fixture fx;
+  const auto sweeper = fx.sweeper();
+  int ok = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto m = sweeper.measure(0, SimTime(10 + i));
+    if (m.status == dns::ResponseStatus::Ok) ++ok;
+  }
+  EXPECT_GT(ok, 190);  // resolution "fine" while half the NSSet is dead
+}
+
+TEST(Exhaustive, OutcomesCoverEveryNameserverOnce) {
+  const Fixture fx;
+  const auto sweeper = fx.sweeper();
+  const auto outcomes = sweeper.measure_exhaustive(0, SimTime(123456));
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_NE(outcomes[0].ns, outcomes[1].ns);
+}
+
+TEST(Exhaustive, Deterministic) {
+  const Fixture fx;
+  const auto sweeper = fx.sweeper();
+  const auto a = sweeper.measure_exhaustive(0, SimTime(77));
+  const auto b = sweeper.measure_exhaustive(0, SimTime(77));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].status, b[i].status);
+    EXPECT_DOUBLE_EQ(a[i].rtt_ms, b[i].rtt_ms);
+  }
+}
+
+TEST(Exhaustive, AnsweredOutcomesHaveBoundedRtt) {
+  const Fixture fx;
+  const auto sweeper = fx.sweeper();
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& o : sweeper.measure_exhaustive(0, SimTime(9000 + i))) {
+      if (o.status != dns::ResponseStatus::Timeout) {
+        EXPECT_GT(o.rtt_ms, 0.0);
+        EXPECT_LE(o.rtt_ms, 1500.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ddos::openintel

@@ -1,0 +1,170 @@
+// Integration tests of the §5 case-study scenarios. These run the full
+// telescope + sweep + (reactive) pipelines at reduced scale and assert the
+// paper's qualitative findings.
+#include <gtest/gtest.h>
+
+#include "scenario/russia.h"
+#include "scenario/transip.h"
+
+namespace ddos::scenario {
+namespace {
+
+class TransIPTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TransIPParams params;
+    params.scale = 0.02;  // ~15.5K domains: fast but statistically stable
+    result_ = new TransIPResult(run_transip(params));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static TransIPResult* result_;
+};
+
+TransIPResult* TransIPTest::result_ = nullptr;
+
+TEST_F(TransIPTest, PopulationShape) {
+  const auto& r = *result_;
+  EXPECT_NEAR(r.nl_share, 510.0 / 776.0, 0.03);            // two-thirds .nl
+  EXPECT_NEAR(r.third_party_web_share, 0.27, 0.03);        // §5.1.1
+  EXPECT_GT(r.domains_hosted, 10000u);
+}
+
+TEST_F(TransIPTest, Table2DecemberMetrics) {
+  const auto& dec = result_->december;
+  // A ~21.8K ppm >> B ~3.8K >> C ~2.9K (within sampling slack).
+  EXPECT_NEAR(dec[0].observed_ppm, 21.8e3, 4e3);
+  EXPECT_NEAR(dec[1].observed_ppm, 3.8e3, 1e3);
+  EXPECT_NEAR(dec[2].observed_ppm, 2.9e3, 1e3);
+  // Inferred volume ~1.4 Gbps on A.
+  EXPECT_NEAR(dec[0].inferred_gbps, 1.4, 0.4);
+  EXPECT_GT(dec[0].attacker_ip_count, dec[1].attacker_ip_count);
+  EXPECT_GT(dec[1].attacker_ip_count, dec[2].attacker_ip_count);
+}
+
+TEST_F(TransIPTest, Table2MarchSixfoldStronger) {
+  const auto& dec = result_->december;
+  const auto& mar = result_->march;
+  // Paper: peak packet rate ~6x the December attack.
+  EXPECT_GT(mar[0].observed_ppm, dec[0].observed_ppm * 4.0);
+  EXPECT_NEAR(mar[0].inferred_gbps, 8.0, 2.5);
+  EXPECT_NEAR(mar[2].inferred_gbps, 0.845, 0.4);
+}
+
+TEST_F(TransIPTest, DecemberTenfoldImpact) {
+  EXPECT_GT(result_->december_peak_impact, 5.0);
+  EXPECT_LT(result_->december_peak_impact, 30.0);
+  // December failures negligible (paper: "a negligible fraction").
+  EXPECT_LT(result_->december_peak_timeout_share, 0.05);
+}
+
+TEST_F(TransIPTest, DecemberImpairmentOutlivesVisibleAttack) {
+  // Paper: effects persisted ~8 hours after the RSDoS-inferred end.
+  EXPECT_GE(result_->december_residual_hours, 6.0);
+  EXPECT_LE(result_->december_residual_hours, 10.0);
+}
+
+TEST_F(TransIPTest, MarchTimeoutsNearTwentyPercent) {
+  EXPECT_GT(result_->march_peak_timeout_share, 0.10);
+  EXPECT_LT(result_->march_peak_timeout_share, 0.40);
+}
+
+TEST_F(TransIPTest, MarchImpairmentMatchesTelescopeWindow) {
+  // No window outside [start, end] should show heavy impact (scrubbing
+  // deployed; unlike December there is no residual tail).
+  for (const auto& pt : result_->march_series) {
+    if (pt.time >= result_->mar_end + netsim::kSecondsPerHour) {
+      EXPECT_LT(pt.impact_on_rtt, 3.0) << pt.time.to_string();
+    }
+  }
+  EXPECT_GT(result_->march_peak_impact, result_->december_peak_impact);
+}
+
+TEST_F(TransIPTest, QuietHoursAreQuiet) {
+  int quiet = 0;
+  for (const auto& pt : result_->december_series) {
+    if (pt.time < result_->dec_visible_start && pt.impact_on_rtt > 0.0 &&
+        pt.impact_on_rtt < 2.0) {
+      ++quiet;
+    }
+  }
+  EXPECT_GT(quiet, 5);
+}
+
+class RussiaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    result_ = new RussiaResult(run_russia(RussiaParams{}));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static RussiaResult* result_;
+};
+
+RussiaResult* RussiaTest::result_ = nullptr;
+
+TEST_F(RussiaTest, MilRuAttackTimeline) {
+  const auto& m = result_->milru;
+  EXPECT_EQ(m.attack_start.to_string(), "2022-03-11 06:00:00");
+  EXPECT_EQ(m.attack_end.to_string(), "2022-03-18 20:00:00");
+  EXPECT_EQ(result_->milru_distinct_slash24, 1u);  // the anti-pattern
+}
+
+TEST_F(RussiaTest, OpenIntelFailsDuringGeofence) {
+  const auto& daily = result_->milru.openintel_daily;
+  ASSERT_FALSE(daily.empty());
+  const netsim::DayIndex geo_first = result_->milru.geofence_start.day();
+  const netsim::DayIndex geo_last = result_->milru.geofence_end.day() - 1;
+  for (const auto& d : daily) {
+    if (d.day >= geo_first && d.day <= geo_last) {
+      EXPECT_DOUBLE_EQ(d.success_share, 0.0) << "day " << d.day;
+    } else if (d.day < result_->milru.attack_start.day()) {
+      EXPECT_GT(d.success_share, 0.9) << "day " << d.day;
+    }
+  }
+}
+
+TEST_F(RussiaTest, GeofenceDaysMatchPaper) {
+  // Paper: OpenINTEL completely failed March 12-16 inclusive.
+  EXPECT_EQ(result_->milru.geofence_start.to_string(), "2022-03-12 00:00:00");
+  EXPECT_EQ(result_->milru.geofence_end.to_string(), "2022-03-17 00:00:00");
+}
+
+TEST_F(RussiaTest, ReactiveSeesNoResponsiveNameserverDuringGeofence) {
+  EXPECT_TRUE(result_->milru.no_ns_responsive_during_geofence);
+  EXPECT_GT(result_->milru.attack_windows_probed, 1000u);  // 8-day campaign
+  EXPECT_GT(result_->milru.unresolvable_share(), 0.5);
+}
+
+TEST_F(RussiaTest, RdzTimelineAndRecovery) {
+  const auto& r = result_->rdz;
+  EXPECT_EQ(r.attack_start.to_string(), "2022-03-08 15:30:00");
+  EXPECT_EQ(r.attack_end.to_string(), "2022-03-08 20:45:00");
+  EXPECT_LT(r.during_attack_resolution_rate, 0.1);  // saturated
+  ASSERT_TRUE(r.recovered());
+  // Paper: intermittently responsive from ~06:00 the next morning.
+  EXPECT_EQ(r.recovery_time.day(), r.attack_end.day() + 1);
+  const std::int64_t recovery_hour =
+      r.recovery_time.second_of_day() / netsim::kSecondsPerHour;
+  EXPECT_GE(recovery_hour, 5);
+  EXPECT_LE(recovery_hour, 7);
+}
+
+TEST_F(RussiaTest, RdzUsesTwoPrefixes) {
+  EXPECT_EQ(result_->rdz_distinct_slash24, 2u);
+}
+
+TEST(RussiaDeterminism, SameSeedSameResult) {
+  const auto r1 = run_russia(RussiaParams{});
+  const auto r2 = run_russia(RussiaParams{});
+  EXPECT_EQ(r1.milru.unresolvable_attack_windows,
+            r2.milru.unresolvable_attack_windows);
+  EXPECT_EQ(r1.rdz.recovery_time.seconds(), r2.rdz.recovery_time.seconds());
+}
+
+}  // namespace
+}  // namespace ddos::scenario

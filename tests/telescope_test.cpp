@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telescope/darknet.h"
+#include "telescope/feed.h"
+#include "telescope/rsdos.h"
+
+namespace ddos::telescope {
+namespace {
+
+using netsim::IPv4Addr;
+using netsim::Prefix;
+using netsim::SimTime;
+
+TEST(Darknet, UcsdLikeGeometry) {
+  const Darknet net = Darknet::ucsd_like();
+  EXPECT_EQ(net.prefixes().size(), 2u);
+  // /9 + /10 = 2^23 + 2^22 addresses = 3/1024 of IPv4 = 1/341.33.
+  EXPECT_EQ(net.address_count(), (1u << 23) + (1u << 22));
+  EXPECT_NEAR(net.ipv4_fraction(), 3.0 / 1024.0, 1e-12);
+  EXPECT_NEAR(net.extrapolation_factor(), 341.33, 0.01);
+  EXPECT_EQ(net.slash16_count(), 128u + 64u);
+}
+
+TEST(Darknet, Containment) {
+  const Darknet net = Darknet::ucsd_like();
+  EXPECT_TRUE(net.contains(IPv4Addr(44, 1, 2, 3)));
+  EXPECT_TRUE(net.contains(IPv4Addr(45, 150, 0, 1)));
+  EXPECT_FALSE(net.contains(IPv4Addr(8, 8, 8, 8)));
+}
+
+TEST(Darknet, RejectsBadConfigurations) {
+  EXPECT_THROW(Darknet({}), std::invalid_argument);
+  EXPECT_THROW(Darknet({Prefix(IPv4Addr(10, 0, 0, 0), 8),
+                        Prefix(IPv4Addr(10, 1, 0, 0), 16)}),
+               std::invalid_argument);
+}
+
+TEST(Darknet, LongPrefixCountsOneSlash16) {
+  const Darknet net({Prefix(IPv4Addr(10, 0, 0, 0), 24)});
+  EXPECT_EQ(net.slash16_count(), 1u);
+}
+
+TEST(PaperExtrapolation, Footnote2) {
+  // 21.8 Kppm x 341 / 60 s = ~124 Kpps (§5.1 footnote 2).
+  const Darknet net = Darknet::ucsd_like();
+  RSDoSFeed feed{InferenceParams{}, attack::BackscatterModelParams{}};
+  EXPECT_NEAR(feed.extrapolate_pps(21.8e3, net), 124e3, 1e3);
+}
+
+attack::BackscatterWindow make_window(std::uint64_t packets,
+                                      std::uint32_t slash16, double ppm) {
+  attack::BackscatterWindow bw;
+  bw.window = 10;
+  bw.victim = IPv4Addr(9, 9, 9, 9);
+  bw.packets = packets;
+  bw.distinct_slash16 = slash16;
+  bw.peak_ppm = ppm;
+  return bw;
+}
+
+TEST(Inference, Thresholds) {
+  const InferenceParams params;  // 25 pkts, 25 /16s, 5 ppm
+  EXPECT_TRUE(passes_thresholds(make_window(25, 25, 5.0), params));
+  EXPECT_FALSE(passes_thresholds(make_window(24, 25, 5.0), params));
+  EXPECT_FALSE(passes_thresholds(make_window(25, 24, 5.0), params));
+  EXPECT_FALSE(passes_thresholds(make_window(25, 25, 4.9), params));
+}
+
+TEST(Inference, RecordCarriesFields) {
+  auto bw = make_window(100, 50, 20.0);
+  bw.protocol = attack::Protocol::UDP;
+  bw.first_port = 53;
+  bw.unique_ports = 3;
+  const RSDoSRecord rec = to_record(bw);
+  EXPECT_EQ(rec.window, 10);
+  EXPECT_EQ(rec.victim, IPv4Addr(9, 9, 9, 9));
+  EXPECT_EQ(rec.packets, 100u);
+  EXPECT_EQ(rec.distinct_slash16, 50u);
+  EXPECT_EQ(rec.protocol, attack::Protocol::UDP);
+  EXPECT_EQ(rec.first_port, 53);
+  EXPECT_EQ(rec.unique_ports, 3);
+  EXPECT_DOUBLE_EQ(rec.max_ppm, 20.0);
+}
+
+RSDoSRecord rec_at(IPv4Addr victim, netsim::WindowIndex w, double ppm = 100.0) {
+  RSDoSRecord rec;
+  rec.victim = victim;
+  rec.window = w;
+  rec.max_ppm = ppm;
+  rec.packets = 500;
+  rec.distinct_slash16 = 40;
+  return rec;
+}
+
+TEST(Segmentation, ConsecutiveWindowsFormOneEvent) {
+  const InferenceParams params;
+  const auto events = segment_events(
+      {rec_at(IPv4Addr(1, 1, 1, 1), 10), rec_at(IPv4Addr(1, 1, 1, 1), 11),
+       rec_at(IPv4Addr(1, 1, 1, 1), 12)},
+      params);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].start_window, 10);
+  EXPECT_EQ(events[0].end_window, 12);
+  EXPECT_EQ(events[0].duration_s(), 900);
+  EXPECT_EQ(events[0].total_packets, 1500u);
+}
+
+TEST(Segmentation, GapToleranceStitches) {
+  InferenceParams params;
+  params.max_gap_windows = 2;
+  // Windows 10 and 13: gap of two empty windows (11, 12) — stitched.
+  const auto events = segment_events(
+      {rec_at(IPv4Addr(1, 1, 1, 1), 10), rec_at(IPv4Addr(1, 1, 1, 1), 13)},
+      params);
+  ASSERT_EQ(events.size(), 1u);
+  // Windows 10 and 14: gap of three — split.
+  const auto split = segment_events(
+      {rec_at(IPv4Addr(1, 1, 1, 1), 10), rec_at(IPv4Addr(1, 1, 1, 1), 14)},
+      params);
+  EXPECT_EQ(split.size(), 2u);
+}
+
+TEST(Segmentation, SeparatesVictims) {
+  const InferenceParams params;
+  const auto events = segment_events(
+      {rec_at(IPv4Addr(1, 1, 1, 1), 10), rec_at(IPv4Addr(2, 2, 2, 2), 10)},
+      params);
+  EXPECT_EQ(events.size(), 2u);
+}
+
+TEST(Segmentation, AggregatesMaxima) {
+  const InferenceParams params;
+  auto r1 = rec_at(IPv4Addr(1, 1, 1, 1), 10, 100.0);
+  auto r2 = rec_at(IPv4Addr(1, 1, 1, 1), 11, 500.0);
+  r2.distinct_slash16 = 90;
+  r2.unique_ports = 7;
+  const auto events = segment_events({r2, r1}, params);  // order-insensitive
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].max_ppm, 500.0);
+  EXPECT_EQ(events[0].max_slash16, 90u);
+  EXPECT_EQ(events[0].max_unique_ports, 7u);
+}
+
+TEST(Segmentation, EventTimes) {
+  const InferenceParams params;
+  const auto events =
+      segment_events({rec_at(IPv4Addr(1, 1, 1, 1), 10)}, params);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].start_time().seconds(), 3000);
+  EXPECT_EQ(events[0].end_time().seconds(), 3300);
+}
+
+TEST(Feed, IngestVisibleAttack) {
+  attack::AttackSchedule sched;
+  attack::AttackSpec spec;
+  spec.target = IPv4Addr(7, 7, 7, 7);
+  spec.start = SimTime(0);
+  spec.duration_s = 1800;  // 6 windows
+  spec.peak_pps = 50e3;
+  spec.steady = true;
+  sched.add(spec);
+
+  RSDoSFeed feed{InferenceParams{}, attack::BackscatterModelParams{}};
+  feed.ingest(sched, Darknet::ucsd_like(), 1);
+  EXPECT_EQ(feed.records().size(), 6u);
+  const auto events = feed.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].victim, IPv4Addr(7, 7, 7, 7));
+  EXPECT_EQ(events[0].duration_s(), 1800);
+  // Observed ppm extrapolates back to ~50K pps.
+  EXPECT_NEAR(feed.extrapolate_pps(events[0].max_ppm, Darknet::ucsd_like()),
+              50e3, 10e3);
+}
+
+TEST(Feed, WeakAttackBelowThresholdInvisible) {
+  attack::AttackSchedule sched;
+  attack::AttackSpec spec;
+  spec.target = IPv4Addr(7, 7, 7, 7);
+  spec.start = SimTime(0);
+  spec.duration_s = 900;
+  spec.peak_pps = 10.0;  // ~9 backscatter packets/window at the telescope
+  sched.add(spec);
+  RSDoSFeed feed{InferenceParams{}, attack::BackscatterModelParams{}};
+  feed.ingest(sched, Darknet::ucsd_like(), 1);
+  EXPECT_TRUE(feed.records().empty());
+}
+
+TEST(Feed, IngestIsDeterministicAndOrderIndependent) {
+  attack::AttackSpec a;
+  a.id = 5;
+  a.target = IPv4Addr(7, 7, 7, 7);
+  a.start = SimTime(0);
+  a.duration_s = 900;
+  a.peak_pps = 50e3;
+  attack::AttackSpec b = a;
+  b.id = 6;
+  b.target = IPv4Addr(8, 8, 8, 8);
+
+  attack::AttackSchedule s1, s2;
+  s1.add(a);
+  s1.add(b);
+  s2.add(b);
+  s2.add(a);
+
+  RSDoSFeed f1{InferenceParams{}, attack::BackscatterModelParams{}};
+  RSDoSFeed f2{InferenceParams{}, attack::BackscatterModelParams{}};
+  f1.ingest(s1, Darknet::ucsd_like(), 99);
+  f2.ingest(s2, Darknet::ucsd_like(), 99);
+  ASSERT_EQ(f1.records().size(), f2.records().size());
+  // Compare as multisets via per-victim totals.
+  std::uint64_t pkts1 = 0, pkts2 = 0;
+  for (const auto& r : f1.records()) pkts1 += r.packets;
+  for (const auto& r : f2.records()) pkts2 += r.packets;
+  EXPECT_EQ(pkts1, pkts2);
+}
+
+TEST(Feed, SummarizeCountsUniques) {
+  RSDoSFeed feed{InferenceParams{}, attack::BackscatterModelParams{}};
+  feed.add_record(rec_at(IPv4Addr(1, 1, 1, 1), 10));
+  feed.add_record(rec_at(IPv4Addr(1, 1, 1, 2), 10));   // same /24
+  feed.add_record(rec_at(IPv4Addr(1, 1, 1, 1), 100));  // second event, same IP
+  feed.add_record(rec_at(IPv4Addr(2, 2, 2, 2), 10));
+  const auto summary = feed.summarize([](IPv4Addr ip) {
+    return ip.value() >> 24;  // octet as fake ASN
+  });
+  EXPECT_EQ(summary.attacks, 4u);
+  EXPECT_EQ(summary.unique_ips, 3u);
+  EXPECT_EQ(summary.unique_slash24, 2u);
+  EXPECT_EQ(summary.unique_asn, 2u);
+}
+
+TEST(Feed, CsvSerialisation) {
+  RSDoSFeed feed{InferenceParams{}, attack::BackscatterModelParams{}};
+  feed.add_record(rec_at(IPv4Addr(1, 1, 1, 1), 10));
+  std::ostringstream out;
+  feed.write_csv(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("window,victim"), std::string::npos);
+  EXPECT_NE(s.find("1.1.1.1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddos::telescope

@@ -1,0 +1,88 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace ddos::util {
+namespace {
+
+FlagParser make_parser() {
+  FlagParser flags("test tool");
+  flags.add_string("name", "default", "a string");
+  flags.add_int("count", 7, "an int");
+  flags.add_double("scale", 1.5, "a double");
+  flags.add_bool("verbose", "a bool");
+  return flags;
+}
+
+TEST(Flags, DefaultsApply) {
+  auto flags = make_parser();
+  ASSERT_TRUE(flags.parse({}));
+  EXPECT_EQ(flags.get_string("name"), "default");
+  EXPECT_EQ(flags.get_int("count"), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("scale"), 1.5);
+  EXPECT_FALSE(flags.get_bool("verbose"));
+}
+
+TEST(Flags, SpaceSeparatedValues) {
+  auto flags = make_parser();
+  ASSERT_TRUE(flags.parse({"--name", "mil.ru", "--count", "42"}));
+  EXPECT_EQ(flags.get_string("name"), "mil.ru");
+  EXPECT_EQ(flags.get_int("count"), 42);
+}
+
+TEST(Flags, EqualsSyntaxAndBool) {
+  auto flags = make_parser();
+  ASSERT_TRUE(flags.parse({"--scale=2.25", "--verbose"}));
+  EXPECT_DOUBLE_EQ(flags.get_double("scale"), 2.25);
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(Flags, PositionalArguments) {
+  auto flags = make_parser();
+  ASSERT_TRUE(flags.parse({"run", "--count", "3", "extra"}));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "run");
+  EXPECT_EQ(flags.positional()[1], "extra");
+}
+
+TEST(Flags, UnknownFlagFails) {
+  auto flags = make_parser();
+  EXPECT_FALSE(flags.parse({"--bogus", "1"}));
+  EXPECT_NE(flags.error().find("unknown flag"), std::string::npos);
+}
+
+TEST(Flags, MissingValueFails) {
+  auto flags = make_parser();
+  EXPECT_FALSE(flags.parse({"--count"}));
+  EXPECT_NE(flags.error().find("requires a value"), std::string::npos);
+}
+
+TEST(Flags, TypeValidation) {
+  auto flags = make_parser();
+  EXPECT_FALSE(flags.parse({"--count", "abc"}));
+  auto flags2 = make_parser();
+  EXPECT_FALSE(flags2.parse({"--scale", "xyz"}));
+  auto flags3 = make_parser();
+  EXPECT_FALSE(flags3.parse({"--verbose=maybe"}));
+  auto flags4 = make_parser();
+  EXPECT_TRUE(flags4.parse({"--verbose=true"}));
+  EXPECT_TRUE(flags4.get_bool("verbose"));
+}
+
+TEST(Flags, HelpRequested) {
+  auto flags = make_parser();
+  ASSERT_TRUE(flags.parse({"--help"}));
+  EXPECT_TRUE(flags.help_requested());
+  EXPECT_NE(flags.usage().find("--count"), std::string::npos);
+  EXPECT_NE(flags.usage().find("a double"), std::string::npos);
+}
+
+TEST(Flags, NegativeAndScientificNumbers) {
+  auto flags = make_parser();
+  ASSERT_TRUE(flags.parse({"--scale", "-3e2", "--count", "-5"}));
+  EXPECT_DOUBLE_EQ(flags.get_double("scale"), -300.0);
+  EXPECT_EQ(flags.get_int("count"), -5);
+}
+
+}  // namespace
+}  // namespace ddos::util

@@ -1,0 +1,128 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace ddos::util {
+namespace {
+
+TEST(LinearHistogram, BinsAndEdges) {
+  LinearHistogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(LinearHistogram, AddAndCount) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(9.9);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 2.0 / 3.0);
+}
+
+TEST(LinearHistogram, OutOfRangeClampsIntoEdgeBins) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(4), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(LinearHistogram, WeightedAdd) {
+  LinearHistogram h(0.0, 4.0, 4);
+  h.add(0.5, 10);
+  EXPECT_EQ(h.bin(0), 10u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(LinearHistogram, ModeBin) {
+  LinearHistogram h(0.0, 3.0, 3);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  EXPECT_EQ(h.mode_bin(), 1u);
+}
+
+TEST(LinearHistogram, InvalidConstructionThrows) {
+  EXPECT_THROW(LinearHistogram(0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(10.0, 0.0, 5), std::invalid_argument);
+}
+
+TEST(LogHistogram, OrderOfMagnitudeBins) {
+  LogHistogram h(1.0, 1.0, 6);  // bins [1,10), [10,100), ...
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 1000.0);
+  h.add(5.0);
+  h.add(50.0);
+  h.add(55.0);
+  h.add(5e5);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(1), 2u);
+  EXPECT_EQ(h.bin(5), 1u);
+}
+
+TEST(LogHistogram, NonPositiveGoesToFirstBin) {
+  LogHistogram h(1.0, 1.0, 4);
+  h.add(0.0);
+  h.add(-5.0);
+  EXPECT_EQ(h.bin(0), 2u);
+}
+
+TEST(LogHistogram, ClampsAboveRange) {
+  LogHistogram h(1.0, 1.0, 3);  // covers up to 1000
+  h.add(1e9);
+  EXPECT_EQ(h.bin(2), 1u);
+}
+
+TEST(LogHistogram, InvalidConstructionThrows) {
+  EXPECT_THROW(LogHistogram(0.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(CategoryCounter, CountsAndFractions) {
+  CategoryCounter c;
+  c.add("TCP", 9);
+  c.add("UDP");
+  EXPECT_EQ(c.count("TCP"), 9u);
+  EXPECT_EQ(c.count("UDP"), 1u);
+  EXPECT_EQ(c.count("ICMP"), 0u);
+  EXPECT_EQ(c.total(), 10u);
+  EXPECT_DOUBLE_EQ(c.fraction("TCP"), 0.9);
+  EXPECT_DOUBLE_EQ(c.fraction("missing"), 0.0);
+  EXPECT_EQ(c.distinct(), 2u);
+}
+
+TEST(CategoryCounter, TopOrdersByCountThenKey) {
+  CategoryCounter c;
+  c.add("b", 5);
+  c.add("a", 5);
+  c.add("c", 9);
+  const auto top = c.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "c");
+  EXPECT_EQ(top[1].first, "a");  // tie broken by key
+}
+
+TEST(CategoryCounter, TopWithFewerEntriesThanK) {
+  CategoryCounter c;
+  c.add("x");
+  const auto top = c.top(10);
+  ASSERT_EQ(top.size(), 1u);
+}
+
+TEST(CategoryCounter, EmptyFractionIsZero) {
+  const CategoryCounter c;
+  EXPECT_DOUBLE_EQ(c.fraction("x"), 0.0);
+  EXPECT_TRUE(c.top(3).empty());
+}
+
+}  // namespace
+}  // namespace ddos::util

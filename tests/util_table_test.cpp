@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ddos::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "n"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  // Header, rule, two rows.
+  EXPECT_NE(s.find("name   n"), std::string::npos);
+  EXPECT_NE(s.find("-----  --"), std::string::npos);
+  EXPECT_NE(s.find("alpha  1"), std::string::npos);
+  EXPECT_NE(s.find("b      22"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(TextTable, SeparatorRendersBlankLine) {
+  TextTable t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("1\n\n2"), std::string::npos);
+}
+
+TEST(AsciiBar, FractionMapping) {
+  EXPECT_EQ(ascii_bar(0.0, 10), "..........");
+  EXPECT_EQ(ascii_bar(1.0, 10), "##########");
+  EXPECT_EQ(ascii_bar(0.5, 10), "#####.....");
+}
+
+TEST(AsciiBar, ClampsOutOfRange) {
+  EXPECT_EQ(ascii_bar(-1.0, 4), "....");
+  EXPECT_EQ(ascii_bar(2.0, 4), "####");
+}
+
+TEST(Banner, PadsToWidth) {
+  const std::string b = banner("hi", 20);
+  EXPECT_EQ(b.size(), 20u);
+  EXPECT_EQ(b.substr(0, 6), "== hi ");
+  EXPECT_EQ(b.back(), '=');
+}
+
+TEST(Banner, LongTitleNotTruncated) {
+  const std::string b = banner("a very long banner title", 10);
+  EXPECT_NE(b.find("a very long banner title"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddos::util

@@ -1,0 +1,239 @@
+// ddosrepro — command-line driver for the reproduction pipeline.
+//
+//   ddosrepro world   [--seed N --domains N --providers N]
+//                     [--zone <tld> --out <file>] [--audit]
+//   ddosrepro run     [--seed N --scale X --domains N --providers N]
+//                     [--events-csv <file>] [--feed-csv <file>]
+//   ddosrepro analyze --events-csv <file>
+//   ddosrepro transip [--scale X]
+//   ddosrepro russia
+//
+// `run` executes the seventeen-month pipeline and prints the headline
+// shapes; `analyze` re-loads an exported events CSV and recomputes the
+// figure-level statistics, so analyses can be replayed without re-running
+// the simulation.
+#include <fstream>
+#include <iostream>
+
+#include "core/analysis.h"
+#include "core/audit.h"
+#include "core/export.h"
+#include "dns/zonefile.h"
+#include "scenario/driver.h"
+#include "scenario/russia.h"
+#include "scenario/transip.h"
+#include "util/flags.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace ddos;
+
+namespace {
+
+int cmd_world(util::FlagParser& flags) {
+  scenario::WorldParams params;
+  params.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  params.domain_count = static_cast<std::uint32_t>(flags.get_int("domains"));
+  params.provider_count =
+      static_cast<std::uint32_t>(flags.get_int("providers"));
+  const auto world = scenario::build_world(params);
+
+  std::cout << "world: " << world->registry.domain_count() << " domains, "
+            << world->registry.nsset_count() << " NSSets, "
+            << world->registry.nameserver_count() << " nameservers, "
+            << world->providers.size() << " providers\n";
+  std::cout << "largest providers:\n";
+  for (int i = 0; i < 5; ++i) {
+    const auto& p = world->providers[static_cast<std::size_t>(i)];
+    std::cout << "  " << p.name << ": " << p.domains_hosted << " domains ("
+              << scenario::to_string(p.style) << ")\n";
+  }
+
+  const std::string tld = flags.get_string("zone");
+  if (!tld.empty()) {
+    const std::string zone = dns::export_zone_file(world->registry, tld);
+    const std::string out_path = flags.get_string("out");
+    if (out_path.empty()) {
+      std::cout << zone;
+    } else {
+      std::ofstream out(out_path);
+      out << zone;
+      std::cout << "wrote ." << tld << " zone ("
+                << util::format_count(static_cast<double>(zone.size()))
+                << "B) to " << out_path << "\n";
+    }
+  }
+
+  if (flags.get_bool("audit")) {
+    const core::DelegationAuditor auditor(world->registry, world->census,
+                                          world->routes);
+    const auto s = auditor.audit_all(100);
+    util::TextTable table({"audit property", "domains", "share"});
+    const auto row = [&](const char* label, std::uint64_t n) {
+      table.add_row({label, util::with_commas(n),
+                     util::format_fixed(100.0 * s.share(n), 2) + "%"});
+    };
+    row("single nameserver", s.single_ns);
+    row("single /24", s.single_slash24);
+    row("single ASN", s.single_asn);
+    row("lame NS entry", s.with_lame_ns);
+    row("open resolver as NS", s.with_open_resolver_ns);
+    row("full anycast", s.full_anycast);
+    std::cout << table.to_string();
+  }
+  return 0;
+}
+
+void print_analysis(const std::vector<core::NssetAttackEvent>& events) {
+  const auto impacts = core::impact_summary(events);
+  const auto failures = core::failure_summary(events);
+  util::TextTable table({"analysis", "value"});
+  table.add_row({"events", util::with_commas(impacts.events)});
+  table.add_row({">=10x impact share",
+                 util::format_fixed(100 * impacts.impaired_share(), 2) + "%"});
+  table.add_row(
+      {">=100x among impaired",
+       util::format_fixed(100 * impacts.severe_share_of_impaired(), 1) + "%"});
+  table.add_row(
+      {"events with failures",
+       util::format_fixed(100 * failures.failing_event_share(), 2) + "%"});
+  table.add_row(
+      {"timeout share of failures",
+       util::format_fixed(100 * failures.timeout_share_of_failures(), 1) +
+           "%"});
+  const auto duration = core::duration_impact_series(events);
+  table.add_row({"Pearson(duration, impact)",
+                 util::format_fixed(duration.pearson, 3)});
+  std::cout << table.to_string();
+
+  std::cout << "impact by resilience class (median/max/n):\n";
+  for (const auto& g : core::impact_by_anycast(events)) {
+    std::cout << "  " << g.group << ": "
+              << util::format_fixed(g.median_impact, 2) << " / "
+              << util::format_fixed(g.max_impact, 0) << " / " << g.events
+              << "\n";
+  }
+}
+
+int cmd_run(util::FlagParser& flags) {
+  scenario::LongitudinalConfig cfg = scenario::default_longitudinal_config();
+  cfg.world.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  cfg.world.domain_count =
+      static_cast<std::uint32_t>(flags.get_int("domains"));
+  cfg.world.provider_count =
+      static_cast<std::uint32_t>(flags.get_int("providers"));
+  cfg.workload.scale = flags.get_double("scale");
+
+  const auto r = scenario::run_longitudinal(cfg);
+  std::cout << "pipeline: " << r.workload.schedule.size() << " attacks -> "
+            << r.feed.records().size() << " feed records -> "
+            << r.events.size() << " events -> " << r.joined.size()
+            << " joined NSSet-attack events ("
+            << util::with_commas(r.swept_measurements)
+            << " measurements swept)\n\n";
+  print_analysis(r.joined);
+
+  const std::string events_path = flags.get_string("events-csv");
+  if (!events_path.empty()) {
+    std::ofstream out(events_path);
+    core::write_events_csv(out, r.joined);
+    std::cout << "\nwrote " << r.joined.size() << " events to "
+              << events_path << "\n";
+  }
+  const std::string feed_path = flags.get_string("feed-csv");
+  if (!feed_path.empty()) {
+    std::ofstream out(feed_path);
+    r.feed.write_csv(out);
+    std::cout << "wrote " << r.feed.records().size() << " feed records to "
+              << feed_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_analyze(util::FlagParser& flags) {
+  const std::string path = flags.get_string("events-csv");
+  if (path.empty()) {
+    std::cerr << "analyze requires --events-csv <file>\n";
+    return 1;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  const auto events = core::read_events_csv(in);
+  std::cout << "loaded " << events.size() << " events from " << path
+            << "\n\n";
+  print_analysis(events);
+  return 0;
+}
+
+int cmd_transip(util::FlagParser& flags) {
+  scenario::TransIPParams params;
+  params.scale = flags.get_double("scale");
+  const auto r = scenario::run_transip(params);
+  std::cout << "TransIP replay at scale " << params.scale << ": "
+            << util::with_commas(r.domains_hosted) << " domains\n";
+  std::cout << "December: peak impact "
+            << util::format_fixed(r.december_peak_impact, 1)
+            << "x, residual " << util::format_fixed(r.december_residual_hours, 1)
+            << "h (paper: ~10x, ~8h)\n";
+  std::cout << "March: peak impact "
+            << util::format_fixed(r.march_peak_impact, 1)
+            << "x, peak timeout share "
+            << util::format_fixed(100 * r.march_peak_timeout_share, 1)
+            << "% (paper: larger, ~20%)\n";
+  return 0;
+}
+
+int cmd_russia(util::FlagParser&) {
+  const auto r = scenario::run_russia(scenario::RussiaParams{});
+  std::cout << "mil.ru: " << r.milru.attack_windows_probed
+            << " attack windows probed, "
+            << util::format_fixed(100 * r.milru.unresolvable_share(), 1)
+            << "% fully unresolvable; geofence "
+            << r.milru.geofence_start.to_string() << " .. "
+            << r.milru.geofence_end.to_string() << "\n";
+  std::cout << "rzd.ru: resolution during attack "
+            << util::format_fixed(100 * r.rdz.during_attack_resolution_rate, 1)
+            << "%, recovery at "
+            << (r.rdz.recovered() ? r.rdz.recovery_time.to_string()
+                                  : "n/a")
+            << " (paper: ~06:00 next day)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagParser flags(
+      "ddosrepro — pipeline driver for the IMC'22 DNS-DDoS reproduction\n"
+      "usage: ddosrepro <world|run|analyze|transip|russia> [flags]");
+  flags.add_int("seed", 42, "world/workload seed");
+  flags.add_int("domains", 120000, "registered domains in the world");
+  flags.add_int("providers", 1200, "hosting providers in the world");
+  flags.add_double("scale", 30.0, "divide the paper's attack counts by this");
+  flags.add_string("zone", "", "TLD to export as a parent-zone file");
+  flags.add_string("out", "", "output path for --zone");
+  flags.add_string("events-csv", "", "events CSV path (run: write; analyze: read)");
+  flags.add_string("feed-csv", "", "RSDoS feed CSV output path (run)");
+  flags.add_bool("audit", "run the structural delegation audit (world)");
+
+  if (!flags.parse(argc - 1, argv + 1)) {
+    std::cerr << flags.error() << "\n" << flags.usage();
+    return 2;
+  }
+  if (flags.help_requested() || flags.positional().empty()) {
+    std::cout << flags.usage();
+    return flags.help_requested() ? 0 : 2;
+  }
+
+  const std::string& command = flags.positional().front();
+  if (command == "world") return cmd_world(flags);
+  if (command == "run") return cmd_run(flags);
+  if (command == "analyze") return cmd_analyze(flags);
+  if (command == "transip") return cmd_transip(flags);
+  if (command == "russia") return cmd_russia(flags);
+  std::cerr << "unknown command '" << command << "'\n" << flags.usage();
+  return 2;
+}
