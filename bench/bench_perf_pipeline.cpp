@@ -1,9 +1,20 @@
 // Performance micro-benchmarks (google-benchmark): throughput of the
 // pipeline's hot paths — prefix lookups, RSDoS backscatter inference,
 // agnostic resolution, NSSet aggregation, and the full join.
+//
+// After the micro-benchmarks (which run with NO observer installed — they
+// measure the disabled-instrumentation fast path), an instrumented
+// end-to-end pipeline run is taken and its stage spans and metric snapshot
+// are written to bench_perf_pipeline.json, giving future PRs a
+// machine-readable per-stage ns + items/sec trajectory to diff against.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
+
 #include "attack/backscatter.h"
+#include "obs/obs.h"
+#include "obs/report.h"
 #include "core/analysis.h"
 #include "core/audit.h"
 #include "core/join.h"
@@ -196,6 +207,48 @@ void BM_DelegationAudit(benchmark::State& state) {
 }
 BENCHMARK(BM_DelegationAudit);
 
+// Instrumented end-to-end run for the perf-trajectory JSON; same
+// parameterisation as small_run() so numbers are comparable across PRs.
+void write_pipeline_json(const char* path) {
+  obs::Observer observer;
+  scenario::LongitudinalConfig cfg = scenario::small_longitudinal_config(3);
+  cfg.world.domain_count = 20000;
+  cfg.world.provider_count = 300;
+  cfg.workload.scale = 120.0;
+  scenario::LongitudinalResult result = [&] {
+    const obs::ScopedInstall install(observer);
+    return scenario::run_longitudinal(cfg);
+  }();
+
+  obs::RunReport report("bench_perf_pipeline");
+  report.add_config("seed", static_cast<std::int64_t>(3));
+  report.add_config("domains",
+                    static_cast<std::int64_t>(cfg.world.domain_count));
+  report.add_config("providers",
+                    static_cast<std::int64_t>(cfg.world.provider_count));
+  report.add_config("scale", cfg.workload.scale);
+  report.add_result("events", static_cast<std::int64_t>(result.events.size()));
+  report.add_result("joined", static_cast<std::int64_t>(result.joined.size()));
+  report.add_result("swept_measurements",
+                    static_cast<std::int64_t>(result.swept_measurements));
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  report.write(out, observer);
+  std::cout << "\nwrote instrumented pipeline stage timings to " << path
+            << "\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_pipeline_json("bench_perf_pipeline.json");
+  return 0;
+}

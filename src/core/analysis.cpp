@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/obs.h"
 #include "util/stats.h"
 
 namespace ddos::core {
@@ -30,6 +31,8 @@ YearMonth ym_of(const telescope::RSDoSEvent& ev) {
 std::vector<MonthlyRow> monthly_summary(
     const std::vector<telescope::RSDoSEvent>& events,
     const dns::DnsRegistry& registry) {
+  obs::ScopedSpan span(obs::installed_tracer(), "analysis.monthly_summary");
+  span.set_items(events.size());
   struct Acc {
     std::uint64_t dns_attacks = 0;
     std::uint64_t other_attacks = 0;
@@ -198,6 +201,8 @@ PortDistribution port_distribution(
 }
 
 FailureSummary failure_summary(const std::vector<NssetAttackEvent>& events) {
+  obs::ScopedSpan span(obs::installed_tracer(), "analysis.failure_summary");
+  span.set_items(events.size());
   FailureSummary s;
   s.events = events.size();
   for (const auto& ev : events) {
@@ -228,6 +233,8 @@ std::vector<FailurePoint> failure_points(
 }
 
 ImpactSummary impact_summary(const std::vector<NssetAttackEvent>& events) {
+  obs::ScopedSpan span(obs::installed_tracer(), "analysis.impact_summary");
+  span.set_items(events.size());
   ImpactSummary s;
   s.events = events.size();
   for (const auto& ev : events) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/impact.h"
+#include "obs/obs.h"
 
 namespace ddos::core {
 
@@ -95,6 +96,8 @@ std::vector<NssetAttackEvent> merge_concurrent_events(
 
 std::vector<NssetAttackEvent> JoinPipeline::run(
     const std::vector<telescope::RSDoSEvent>& events) {
+  obs::ScopedSpan span(obs::installed_tracer(), "join.run");
+  span.set_items(events.size());
   std::vector<NssetAttackEvent> out;
   stats_ = JoinStats{};
   stats_.total_events = events.size();
@@ -131,6 +134,15 @@ std::vector<NssetAttackEvent> JoinPipeline::run(
   if (params_.merge_concurrent) {
     out = merge_concurrent_events(std::move(out));
     stats_.joined = out.size();
+  }
+  if (obs::Observer* o = obs::Observer::installed()) {
+    obs::PipelineMetrics& p = o->pipeline;
+    p.join_events_in.inc(stats_.total_events);
+    p.join_events_out.inc(stats_.joined);
+    p.join_open_resolver_filtered.inc(stats_.open_resolver_filtered);
+    p.join_non_dns.inc(stats_.non_dns);
+    p.join_not_seen_day_before.inc(stats_.not_seen_day_before);
+    p.join_below_floor.inc(stats_.below_measurement_floor);
   }
   return out;
 }

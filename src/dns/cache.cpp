@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.h"
+
 namespace ddos::dns {
+
+namespace {
+
+void record_lookup(bool hit) {
+  if (obs::Observer* o = obs::Observer::installed()) {
+    (hit ? o->pipeline.cache_hits : o->pipeline.cache_misses).inc();
+  }
+}
+
+}  // namespace
 
 Cache::Cache(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
 
@@ -23,14 +35,17 @@ std::optional<std::vector<ResourceRecord>> Cache::get(const DomainName& owner,
   const auto it = entries_.find(Key{owner, type});
   if (it == entries_.end()) {
     ++misses_;
+    record_lookup(false);
     return std::nullopt;
   }
   if (it->second.expiry <= now) {
     entries_.erase(it);
     ++misses_;
+    record_lookup(false);
     return std::nullopt;
   }
   ++hits_;
+  record_lookup(true);
   return it->second.records;
 }
 

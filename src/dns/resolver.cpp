@@ -3,7 +3,30 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace ddos::dns {
+
+namespace {
+
+// Single relaxed-atomic increments; a load+branch when no observer is
+// installed, which is what keeps BM_AgnosticResolution flat.
+void record_resolution(const Resolution& res) {
+  obs::Observer* o = obs::Observer::installed();
+  if (!o) return;
+  obs::PipelineMetrics& p = o->pipeline;
+  p.resolver_queries.inc();
+  p.resolver_attempts.inc(static_cast<std::uint64_t>(res.attempts));
+  switch (res.status) {
+    // NXDOMAIN is an authoritative answer — a healthy resolution.
+    case ResponseStatus::Ok:
+    case ResponseStatus::NxDomain: p.resolver_ok.inc(); break;
+    case ResponseStatus::ServFail: p.resolver_servfail.inc(); break;
+    case ResponseStatus::Timeout: p.resolver_timeout.inc(); break;
+  }
+}
+
+}  // namespace
 
 AgnosticResolver::AgnosticResolver(ResolverParams params)
     : params_(params) {
@@ -48,12 +71,14 @@ Resolution AgnosticResolver::resolve(
       elapsed_ms += q.rtt_ms;
       res.rtt_ms = elapsed_ms;
       res.status = q.servfail ? ResponseStatus::ServFail : ResponseStatus::Ok;
+      record_resolution(res);
       return res;
     }
     elapsed_ms += params_.attempt_timeout_ms;
   }
   res.rtt_ms = elapsed_ms;
   res.status = ResponseStatus::Timeout;
+  record_resolution(res);
   return res;
 }
 

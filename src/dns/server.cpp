@@ -3,7 +3,27 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace ddos::dns {
+
+namespace {
+
+void record_query(const QueryOutcome& out) {
+  obs::Observer* o = obs::Observer::installed();
+  if (!o) return;
+  obs::PipelineMetrics& p = o->pipeline;
+  p.server_queries.inc();
+  if (!out.responded) {
+    p.server_dropped.inc();
+  } else if (out.servfail) {
+    p.server_servfail.inc();
+  } else {
+    p.server_answered.inc();
+  }
+}
+
+}  // namespace
 
 Nameserver::Nameserver(netsim::IPv4Addr ip, std::vector<Site> sites,
                        std::string hostname)
@@ -66,9 +86,11 @@ QueryOutcome Nameserver::query(netsim::Rng& rng, const OfferedLoad& load,
                                InflationLaw law) const {
   QueryOutcome out;
   if (blackholed_at(when)) {
+    record_query(out);
     return out;  // Null-routed upstream: nothing reaches the server.
   }
   if (geofenced_at(when) && vantage_country != home_country_) {
+    record_query(out);
     return out;  // Silently dropped at the border: pure timeout.
   }
   const std::size_t sidx = vantage_site(vantage_id);
@@ -101,11 +123,13 @@ QueryOutcome Nameserver::query(netsim::Rng& rng, const OfferedLoad& load,
       out.servfail = true;
       out.rtt_ms = site.base_rtt_ms * rng.uniform(0.8, 3.0);
     }
+    record_query(out);
     return out;
   }
 
   out.responded = true;
   out.rtt_ms = rtt;
+  record_query(out);
   return out;
 }
 

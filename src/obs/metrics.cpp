@@ -1,0 +1,257 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace ddos::obs {
+
+namespace {
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+std::string format_labels(const MetricLabels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=" + v;
+  }
+  out += "}";
+  return out;
+}
+
+// Shortest round-trippable-enough representation: integers print without a
+// decimal point so counter JSON stays integral.
+std::string format_number(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- histogram
+
+HistogramMetric::HistogramMetric(double base, double decades_per_bin,
+                                 std::size_t bins, std::size_t shard_count) {
+  const util::LogHistogram proto(base, decades_per_bin, bins);
+  shards_.reserve(std::max<std::size_t>(1, shard_count));
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, shard_count); ++i) {
+    shards_.push_back(std::make_unique<Shard>(proto));
+  }
+}
+
+void HistogramMetric::observe(double x, std::uint64_t weight) {
+  const std::size_t idx =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      shards_.size();
+  Shard& shard = *shards_[idx];
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  shard.hist.add(x, weight);
+}
+
+util::LogHistogram HistogramMetric::snapshot() const {
+  util::LogHistogram merged = [&] {
+    const std::lock_guard<std::mutex> lock(shards_[0]->mu);
+    return shards_[0]->hist;
+  }();
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    const std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    merged.merge(shards_[i]->hist);
+  }
+  return merged;
+}
+
+// ----------------------------------------------------------------- registry
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  MetricLabels labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[Key{name, std::move(labels)}];
+  if (!e.counter) {
+    if (e.gauge || e.histogram) {
+      throw std::invalid_argument("metric '" + name +
+                                  "' already registered with another kind");
+    }
+    e.kind = MetricKind::Counter;
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, MetricLabels labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[Key{name, std::move(labels)}];
+  if (!e.gauge) {
+    if (e.counter || e.histogram) {
+      throw std::invalid_argument("metric '" + name +
+                                  "' already registered with another kind");
+    }
+    e.kind = MetricKind::Gauge;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            double base,
+                                            double decades_per_bin,
+                                            std::size_t bins,
+                                            MetricLabels labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[Key{name, std::move(labels)}];
+  if (!e.histogram) {
+    if (e.counter || e.gauge) {
+      throw std::invalid_argument("metric '" + name +
+                                  "' already registered with another kind");
+    }
+    e.kind = MetricKind::Histogram;
+    e.histogram =
+        std::make_unique<HistogramMetric>(base, decades_per_bin, bins);
+  }
+  return *e.histogram;
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.samples.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    MetricSample s;
+    s.name = key.first;
+    s.labels = key.second;
+    s.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::Counter:
+        s.value = static_cast<double>(entry.counter->value());
+        break;
+      case MetricKind::Gauge:
+        s.value = entry.gauge->value();
+        break;
+      case MetricKind::Histogram: {
+        const util::LogHistogram h = entry.histogram->snapshot();
+        s.value = static_cast<double>(h.total());
+        for (std::size_t i = 0; i < h.bin_count(); ++i) {
+          if (h.bin(i) == 0) continue;
+          s.bins.push_back(
+              MetricSample::Bin{h.bin_lo(i), h.bin_hi(i), h.bin(i)});
+        }
+        break;
+      }
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+// ----------------------------------------------------------------- snapshot
+
+const MetricSample* MetricsSnapshot::find(const std::string& name) const {
+  for (const auto& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const auto& s : samples) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << json_escape(s.name) << "\",\"kind\":\""
+        << kind_name(s.kind) << "\"";
+    if (!s.labels.empty()) {
+      out << ",\"labels\":{";
+      bool lfirst = true;
+      for (const auto& [k, v] : s.labels) {
+        if (!lfirst) out << ",";
+        lfirst = false;
+        out << "\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
+      }
+      out << "}";
+    }
+    out << ",\"value\":" << format_number(s.value);
+    if (s.kind == MetricKind::Histogram) {
+      out << ",\"bins\":[";
+      bool bfirst = true;
+      for (const auto& b : s.bins) {
+        if (!bfirst) out << ",";
+        bfirst = false;
+        out << "{\"lo\":" << format_number(b.lo)
+            << ",\"hi\":" << format_number(b.hi) << ",\"count\":" << b.count
+            << "}";
+      }
+      out << "]";
+    }
+    out << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string MetricsSnapshot::to_table() const {
+  util::TextTable table({"metric", "kind", "value"});
+  for (const auto& s : samples) {
+    std::string value;
+    if (s.kind == MetricKind::Gauge) {
+      value = util::format_fixed(s.value, 3);
+    } else {
+      value = util::with_commas(static_cast<std::uint64_t>(s.value));
+    }
+    table.add_row({s.name + format_labels(s.labels), kind_name(s.kind),
+                   std::move(value)});
+  }
+  return table.to_string();
+}
+
+}  // namespace ddos::obs

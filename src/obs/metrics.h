@@ -1,0 +1,136 @@
+// Metrics registry — the counting half of the observability layer.
+//
+// Counters and gauges are single atomics (lock-free, relaxed ordering):
+// pipeline hot paths such as the resolver touch them once per query, so a
+// contended mutex would show up in bench_perf_pipeline immediately.
+// Histogram metrics wrap util::LogHistogram behind a small set of
+// thread-striped shards that are merged at snapshot time with
+// util::LogHistogram::merge(), keeping the per-observation cost to one
+// (almost always uncontended) mutex.
+//
+// Metrics are registered by (name, labels) in a MetricsRegistry; a snapshot
+// can be taken at any point — mid-run included — and rendered as JSON (for
+// the run report) or as a human table (util::TextTable).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace ddos::obs {
+
+/// Monotonic event count. Lock-free; relaxed ordering (totals are exact,
+/// cross-metric ordering is not promised).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written instantaneous value (days swept, store size, ...).
+class Gauge {
+ public:
+  void set(double x) { v_.store(x, std::memory_order_relaxed); }
+  void add(double x) { v_.fetch_add(x, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Thread-safe log-binned distribution (RTTs, impact factors). Writers are
+/// striped over a fixed shard set by thread id; snapshot() merges shards.
+class HistogramMetric {
+ public:
+  HistogramMetric(double base, double decades_per_bin, std::size_t bins,
+                  std::size_t shard_count = 8);
+
+  void observe(double x, std::uint64_t weight = 1);
+
+  /// Merged view of all shards at this instant.
+  util::LogHistogram snapshot() const;
+  std::uint64_t total() const { return snapshot().total(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    util::LogHistogram hist;
+    explicit Shard(const util::LogHistogram& proto) : hist(proto) {}
+  };
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+using MetricLabels = std::map<std::string, std::string>;
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+/// One metric's state at snapshot time.
+struct MetricSample {
+  std::string name;
+  MetricLabels labels;
+  MetricKind kind = MetricKind::Counter;
+  double value = 0.0;           // counter/gauge value; histogram total
+  struct Bin {
+    double lo = 0.0;
+    double hi = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::vector<Bin> bins;        // histogram only; empty bins elided
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  // sorted by (name, labels)
+
+  /// JSON array of {"name","labels","kind","value"[,"bins"]} objects.
+  std::string to_json() const;
+  /// Human-readable table via util::TextTable.
+  std::string to_table() const;
+  /// First sample with this name (ignoring labels), nullptr if absent.
+  const MetricSample* find(const std::string& name) const;
+};
+
+/// Owns metrics; hands out stable references. Registration takes a mutex,
+/// subsequent updates through the returned reference are registry-free, so
+/// the intended pattern is: resolve handles once at setup, update them on
+/// the hot path. Re-registering the same (name, labels) returns the
+/// existing instance; a kind clash throws std::invalid_argument.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, MetricLabels labels = {});
+  Gauge& gauge(const std::string& name, MetricLabels labels = {});
+  /// Histogram shape params are fixed on first registration.
+  HistogramMetric& histogram(const std::string& name, double base,
+                             double decades_per_bin, std::size_t bins,
+                             MetricLabels labels = {});
+
+  MetricsSnapshot snapshot() const;
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+  using Key = std::pair<std::string, MetricLabels>;
+
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+};
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) shared
+/// by the snapshot/trace/report emitters.
+std::string json_escape(const std::string& s);
+
+}  // namespace ddos::obs

@@ -1,0 +1,70 @@
+#include "obs/obs.h"
+
+#include <atomic>
+
+namespace ddos::obs {
+
+namespace {
+std::atomic<Observer*> g_installed{nullptr};
+}  // namespace
+
+PipelineMetrics::PipelineMetrics(MetricsRegistry& r)
+    : resolver_queries(r.counter("resolver.queries")),
+      resolver_attempts(r.counter("resolver.attempts")),
+      resolver_ok(r.counter("resolver.ok")),
+      resolver_servfail(r.counter("resolver.servfail")),
+      resolver_timeout(r.counter("resolver.timeout")),
+      server_queries(r.counter("server.queries")),
+      server_answered(r.counter("server.answered")),
+      server_servfail(r.counter("server.servfail")),
+      server_dropped(r.counter("server.dropped")),
+      cache_hits(r.counter("cache.hits")),
+      cache_misses(r.counter("cache.misses")),
+      sweep_measurements(r.counter("sweep.measurements")),
+      sweep_ok(r.counter("sweep.ok")),
+      sweep_servfail(r.counter("sweep.servfail")),
+      sweep_timeout(r.counter("sweep.timeout")),
+      // 1ms lower edge, order-of-magnitude steps: resolver RTTs span
+      // ~10ms (healthy) to 4500ms (3 timed-out attempts).
+      sweep_rtt_ms(r.histogram("sweep.rtt_ms", 1.0, 0.5, 16)),
+      feed_windows_observed(r.counter("feed.windows_observed")),
+      feed_records(r.counter("feed.records")),
+      join_events_in(r.counter("join.events_in")),
+      join_events_out(r.counter("join.events_out")),
+      join_open_resolver_filtered(r.counter("join.open_resolver_filtered")),
+      join_non_dns(r.counter("join.non_dns")),
+      join_not_seen_day_before(r.counter("join.not_seen_day_before")),
+      join_below_floor(r.counter("join.below_measurement_floor")),
+      run_days_swept(r.gauge("run.days_swept")),
+      run_domains_planned(r.gauge("run.domains_planned")),
+      run_store_measurements(r.gauge("run.store_measurements")) {}
+
+Observer::Observer() : pipeline(metrics_) {}
+
+void Observer::set_progress(std::function<void(const ProgressEvent&)> callback,
+                            std::uint64_t min_interval_ms) {
+  on_progress_ = std::move(callback);
+  progress_min_interval_ms_ = min_interval_ms;
+  progress_last_ns_ = 0;
+}
+
+void Observer::emit_progress(const ProgressEvent& event, bool force) {
+  if (!on_progress_) return;
+  const std::uint64_t now = tracer_.now_ns();
+  if (!force && progress_min_interval_ms_ > 0 && progress_last_ns_ > 0 &&
+      now - progress_last_ns_ < progress_min_interval_ms_ * 1'000'000ull) {
+    return;
+  }
+  progress_last_ns_ = now;
+  on_progress_(event);
+}
+
+Observer* Observer::installed() {
+  return g_installed.load(std::memory_order_relaxed);
+}
+
+Observer* Observer::install(Observer* observer) {
+  return g_installed.exchange(observer, std::memory_order_acq_rel);
+}
+
+}  // namespace ddos::obs

@@ -1,0 +1,141 @@
+// Observer — the process-wide handle that pipeline stages report into.
+//
+// One Observer bundles a MetricsRegistry, a Tracer, the pre-registered
+// pipeline metric set (direct atomic members, so hot paths never do a
+// name lookup), and an optional progress callback for heartbeat lines.
+//
+// Instrumentation sites use the installed-observer pattern:
+//
+//   if (obs::Observer* o = obs::Observer::installed()) {
+//     o->pipeline.resolver_queries.inc();
+//   }
+//   obs::ScopedSpan span(obs::installed_tracer(), "join.run");
+//
+// `installed()` is a single relaxed atomic load; with no observer
+// installed everything collapses to a load+branch — the null sink that
+// keeps bench_perf_pipeline within noise of an uninstrumented build.
+// Install is not reference-counted: the caller owns the Observer and must
+// uninstall (ScopedInstall does both) before destroying it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ddos::obs {
+
+/// Metric names are dotted stage.event paths; the full catalogue is
+/// documented in README.md §Observability.
+struct PipelineMetrics {
+  // dns/resolver.cpp — agnostic resolutions.
+  Counter& resolver_queries;
+  Counter& resolver_attempts;
+  Counter& resolver_ok;
+  Counter& resolver_servfail;
+  Counter& resolver_timeout;
+  // dns/server.cpp — per-nameserver query outcomes.
+  Counter& server_queries;
+  Counter& server_answered;
+  Counter& server_servfail;
+  Counter& server_dropped;      // blackholed/geofenced/queue-lost, no answer
+  // dns/cache.cpp — resolver cache effectiveness.
+  Counter& cache_hits;
+  Counter& cache_misses;
+  // openintel/sweeper.cpp — sweep measurements by outcome.
+  Counter& sweep_measurements;
+  Counter& sweep_ok;
+  Counter& sweep_servfail;
+  Counter& sweep_timeout;
+  HistogramMetric& sweep_rtt_ms;       // log bins, 1ms .. 10^8 ms
+  // telescope/feed.cpp — backscatter inference.
+  Counter& feed_windows_observed;
+  Counter& feed_records;
+  // core/join.cpp — previous-day join dispositions.
+  Counter& join_events_in;
+  Counter& join_events_out;
+  Counter& join_open_resolver_filtered;
+  Counter& join_non_dns;
+  Counter& join_not_seen_day_before;
+  Counter& join_below_floor;
+  // scenario/driver.cpp — longitudinal run shape.
+  Gauge& run_days_swept;
+  Gauge& run_domains_planned;
+  Gauge& run_store_measurements;
+
+  explicit PipelineMetrics(MetricsRegistry& registry);
+};
+
+/// Heartbeat payload emitted by the longitudinal driver once per simulated
+/// day (and once after the join).
+struct ProgressEvent {
+  std::string stage;                 // "sweep" | "join" | ...
+  std::int64_t day = -1;             // simulated DayIndex, -1 when n/a
+  std::uint64_t days_done = 0;
+  std::uint64_t days_total = 0;
+  std::uint64_t measurements = 0;    // cumulative swept measurements
+  std::uint64_t events = 0;          // telescope events in flight
+  std::uint64_t joined = 0;          // joined NSSet-events (post-join)
+  double sweep_rate_per_s = 0.0;     // measurements / wall-second so far
+};
+
+class Observer {
+  // Declared ahead of `pipeline`: PipelineMetrics binds references into
+  // metrics_, so the registry must be initialized first.
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+
+ public:
+  Observer();
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  PipelineMetrics pipeline;  // references into metrics_
+
+  /// Progress heartbeats. The callback runs on the emitting thread;
+  /// `min_interval_ms` rate-limits per-day ticks (final/forced events
+  /// always pass). 0 disables throttling — tests use that.
+  void set_progress(std::function<void(const ProgressEvent&)> callback,
+                    std::uint64_t min_interval_ms = 500);
+  bool progress_enabled() const { return static_cast<bool>(on_progress_); }
+  void emit_progress(const ProgressEvent& event, bool force = false);
+
+  // ---- global installation ------------------------------------------
+  static Observer* installed();
+  /// Replaces the installed observer (nullptr uninstalls); returns the
+  /// previous one. Not synchronised against in-flight readers: install
+  /// before starting instrumented work.
+  static Observer* install(Observer* observer);
+
+ private:
+  std::function<void(const ProgressEvent&)> on_progress_;
+  std::uint64_t progress_min_interval_ms_ = 500;
+  std::uint64_t progress_last_ns_ = 0;
+};
+
+/// Tracer of the installed observer, or nullptr — the argument ScopedSpan
+/// wants at call sites.
+inline Tracer* installed_tracer() {
+  Observer* o = Observer::installed();
+  return o ? &o->tracer() : nullptr;
+}
+
+/// RAII install/uninstall, restoring whatever was installed before.
+class ScopedInstall {
+ public:
+  explicit ScopedInstall(Observer& observer)
+      : previous_(Observer::install(&observer)) {}
+  ~ScopedInstall() { Observer::install(previous_); }
+  ScopedInstall(const ScopedInstall&) = delete;
+  ScopedInstall& operator=(const ScopedInstall&) = delete;
+
+ private:
+  Observer* previous_;
+};
+
+}  // namespace ddos::obs

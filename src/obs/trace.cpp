@@ -1,0 +1,114 @@
+#include "obs/trace.h"
+
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace ddos::obs {
+
+namespace {
+
+// Per-thread nesting level for open spans. Spans on different threads are
+// independent hierarchies, exactly as Chrome's viewer renders them.
+thread_local std::uint32_t t_span_depth = 0;
+
+std::uint64_t current_thread_id() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::record(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  const std::vector<TraceEvent> events = this->events();
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& ev : events) {
+    if (!first) out << ",";
+    first = false;
+    // Chrome wants microseconds; keep fractional ns for short spans.
+    out << "{\"name\":\"" << json_escape(ev.name) << "\",\"ph\":\"X\""
+        << ",\"ts\":" << static_cast<double>(ev.start_ns) / 1e3
+        << ",\"dur\":" << static_cast<double>(ev.duration_ns) / 1e3
+        << ",\"pid\":1,\"tid\":" << ev.thread_id % 100000 << ",\"args\":{";
+    bool afirst = true;
+    if (ev.items > 0) {
+      out << "\"items\":" << ev.items;
+      afirst = false;
+    }
+    out << (afirst ? "" : ",") << "\"depth\":" << ev.depth;
+    for (const auto& [k, v] : ev.args) {
+      out << ",\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
+    }
+    out << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+std::string Tracer::chrome_json() const {
+  std::ostringstream out;
+  write_chrome_json(out);
+  return out.str();
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string name) : tracer_(tracer) {
+  if (!tracer_) return;
+  name_ = std::move(name);
+  start_ns_ = tracer_->now_ns();
+  depth_ = t_span_depth++;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!tracer_) return;
+  --t_span_depth;
+  TraceEvent ev;
+  ev.name = std::move(name_);
+  ev.start_ns = start_ns_;
+  ev.duration_ns = tracer_->now_ns() - start_ns_;
+  ev.depth = depth_;
+  ev.thread_id = current_thread_id();
+  ev.items = items_;
+  ev.args = std::move(args_);
+  tracer_->record(std::move(ev));
+}
+
+void ScopedSpan::arg(const std::string& key, const std::string& value) {
+  if (!tracer_) return;
+  args_.emplace_back(key, value);
+}
+
+void ScopedSpan::arg(const std::string& key, std::int64_t value) {
+  if (!tracer_) return;
+  args_.emplace_back(key, std::to_string(value));
+}
+
+std::uint64_t ScopedSpan::elapsed_ns() const {
+  return tracer_ ? tracer_->now_ns() - start_ns_ : 0;
+}
+
+}  // namespace ddos::obs

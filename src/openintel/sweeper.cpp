@@ -1,6 +1,27 @@
 #include "openintel/sweeper.h"
 
+#include "obs/obs.h"
+
 namespace ddos::openintel {
+
+namespace {
+
+void record_measurement(const Measurement& m) {
+  obs::Observer* o = obs::Observer::installed();
+  if (!o) return;
+  obs::PipelineMetrics& p = o->pipeline;
+  p.sweep_measurements.inc();
+  switch (m.status) {
+    // NXDOMAIN is an authoritative answer — a healthy resolution.
+    case dns::ResponseStatus::Ok:
+    case dns::ResponseStatus::NxDomain: p.sweep_ok.inc(); break;
+    case dns::ResponseStatus::ServFail: p.sweep_servfail.inc(); break;
+    case dns::ResponseStatus::Timeout: p.sweep_timeout.inc(); break;
+  }
+  p.sweep_rtt_ms.observe(m.rtt_ms);
+}
+
+}  // namespace
 
 Sweeper::Sweeper(const dns::DnsRegistry& registry,
                  const attack::AttackSchedule& schedule, SweeperParams params)
@@ -25,9 +46,11 @@ Measurement Sweeper::measure(dns::DomainId domain, netsim::SimTime t) const {
 
 std::vector<Sweeper::NsOutcome> Sweeper::measure_exhaustive(
     dns::DomainId domain, netsim::SimTime t) const {
+  obs::ScopedSpan span(obs::installed_tracer(), "sweeper.measure_exhaustive");
   const dns::NssetId nsset = registry_.nsset_of_domain(domain);
   const auto& key = registry_.nsset_key(nsset);
   const netsim::WindowIndex window = t.window();
+  span.set_items(key.ips.size());
 
   std::vector<NsOutcome> out;
   out.reserve(key.ips.size());
@@ -97,6 +120,7 @@ Measurement Sweeper::measure_with_salt(dns::DomainId domain, netsim::SimTime t,
   m.status = res.status;
   m.rtt_ms = res.rtt_ms;
   m.chosen_ns = res.chosen_ns;
+  record_measurement(m);
   return m;
 }
 

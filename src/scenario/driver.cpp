@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <unordered_set>
+
+#include "obs/obs.h"
 
 namespace ddos::scenario {
 
@@ -24,19 +27,37 @@ LongitudinalConfig small_longitudinal_config(std::uint64_t seed) {
 }
 
 LongitudinalResult run_longitudinal(const LongitudinalConfig& config) {
+  obs::Observer* observer = obs::Observer::installed();
+  obs::Tracer* tracer = observer ? &observer->tracer() : nullptr;
+  obs::ScopedSpan total(tracer, "run_longitudinal");
+
   LongitudinalResult result;
-  result.world = build_world(config.world);
+  {
+    obs::ScopedSpan span(tracer, "world.build");
+    result.world = build_world(config.world);
+    span.set_items(result.world->registry.domain_count());
+  }
   const World& world = *result.world;
 
-  result.workload = generate_workload(world, config.workload);
+  {
+    obs::ScopedSpan span(tracer, "workload.generate");
+    result.workload = generate_workload(world, config.workload);
+    span.set_items(result.workload.schedule.size());
+  }
 
   // Telescope: observe backscatter, infer the feed, stitch events.
-  result.feed = telescope::RSDoSFeed(config.inference, config.backscatter);
-  result.feed.ingest(result.workload.schedule, result.darknet,
-                     config.feed_seed);
-  result.events = result.feed.events();
+  {
+    obs::ScopedSpan span(tracer, "telescope.infer");
+    result.feed = telescope::RSDoSFeed(config.inference, config.backscatter);
+    result.feed.ingest(result.workload.schedule, result.darknet,
+                       config.feed_seed);
+    result.events = result.feed.events();
+    span.set_items(result.events.size());
+  }
 
   // ---- Derive sweep/retention sets from the inferred events.
+  std::optional<obs::ScopedSpan> plan_span;
+  plan_span.emplace(tracer, "sweep.plan");
   std::unordered_set<std::uint64_t> daily_keys;    // (nsset, day)
   std::unordered_set<std::uint64_t> window_keys;   // (nsset, window)
   std::unordered_set<std::uint64_t> ns_seen_keys;  // (ip, day)
@@ -88,33 +109,92 @@ LongitudinalResult run_longitudinal(const LongitudinalConfig& config) {
         return ns_seen_keys.contains(ns_key(ip, day));
       });
 
-  // ---- Sparse sweep.
-  openintel::SweeperParams sp;
-  sp.resolver = config.resolver;
-  sp.model = config.model;
-  sp.seed = config.sweep_seed;
-  const openintel::Sweeper sweeper(world.registry, result.workload.schedule,
-                                   sp);
-  std::vector<dns::DomainId> day_domains;
+  std::uint64_t domains_planned = 0;
   for (const auto& [day, domains] : sweep_plan) {
-    day_domains.assign(domains.begin(), domains.end());
-    std::sort(day_domains.begin(), day_domains.end());
-    sweeper.sweep_domains(day, day_domains,
-                          [&result](const openintel::Measurement& m) {
-                            result.store.add(m);
-                            ++result.swept_measurements;
-                          });
+    domains_planned += domains.size();
+  }
+  if (plan_span) {
+    plan_span->set_items(domains_planned);
+    plan_span->arg("days", static_cast<std::int64_t>(sweep_plan.size()));
+  }
+  plan_span.reset();
+  if (observer) {
+    observer->pipeline.run_domains_planned.set(
+        static_cast<double>(domains_planned));
+  }
+
+  // ---- Sparse sweep.
+  {
+    obs::ScopedSpan sweep_span(tracer, "sweep");
+    openintel::SweeperParams sp;
+    sp.resolver = config.resolver;
+    sp.model = config.model;
+    sp.seed = config.sweep_seed;
+    const openintel::Sweeper sweeper(world.registry, result.workload.schedule,
+                                     sp);
+    const std::uint64_t days_total = sweep_plan.size();
+    std::uint64_t days_done = 0;
+    std::vector<dns::DomainId> day_domains;
+    for (const auto& [day, domains] : sweep_plan) {
+      obs::ScopedSpan day_span(tracer, "sweep.day");
+      day_span.arg("day", static_cast<std::int64_t>(day));
+      day_span.set_items(domains.size());
+      day_domains.assign(domains.begin(), domains.end());
+      std::sort(day_domains.begin(), day_domains.end());
+      sweeper.sweep_domains(day, day_domains,
+                            [&result](const openintel::Measurement& m) {
+                              result.store.add(m);
+                              ++result.swept_measurements;
+                            });
+      ++days_done;
+      if (observer) {
+        observer->pipeline.run_days_swept.set(static_cast<double>(days_done));
+        obs::ProgressEvent progress;
+        progress.stage = "sweep";
+        progress.day = day;
+        progress.days_done = days_done;
+        progress.days_total = days_total;
+        progress.measurements = result.swept_measurements;
+        progress.events = result.events.size();
+        const double elapsed_s =
+            static_cast<double>(total.elapsed_ns()) / 1e9;
+        progress.sweep_rate_per_s =
+            elapsed_s > 0.0
+                ? static_cast<double>(result.swept_measurements) / elapsed_s
+                : 0.0;
+        observer->emit_progress(progress, days_done == days_total);
+      }
+    }
+    sweep_span.set_items(result.swept_measurements);
   }
   // Drop the retention closures: the key sets above go out of scope here.
   result.store.set_retention(nullptr, nullptr, nullptr);
+  if (observer) {
+    observer->pipeline.run_store_measurements.set(
+        static_cast<double>(result.swept_measurements));
+  }
 
   // ---- Join.
-  const core::ResilienceClassifier classifier(world.registry, world.census,
-                                              world.routes, world.orgs);
-  core::JoinPipeline pipeline(world.registry, result.store, classifier,
-                              config.join);
-  result.joined = pipeline.run(result.events);
-  result.join_stats = pipeline.stats();
+  {
+    obs::ScopedSpan span(tracer, "join");
+    const core::ResilienceClassifier classifier(world.registry, world.census,
+                                                world.routes, world.orgs);
+    core::JoinPipeline pipeline(world.registry, result.store, classifier,
+                                config.join);
+    result.joined = pipeline.run(result.events);
+    result.join_stats = pipeline.stats();
+    span.set_items(result.joined.size());
+  }
+  if (observer) {
+    obs::ProgressEvent progress;
+    progress.stage = "join";
+    progress.days_done = sweep_plan.size();
+    progress.days_total = sweep_plan.size();
+    progress.measurements = result.swept_measurements;
+    progress.events = result.events.size();
+    progress.joined = result.joined.size();
+    observer->emit_progress(progress, /*force=*/true);
+  }
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <istream>
 #include <string>
 
+#include "obs/obs.h"
+
 namespace ddos::telescope {
 
 RSDoSFeed::RSDoSFeed(InferenceParams inference,
@@ -11,14 +13,18 @@ RSDoSFeed::RSDoSFeed(InferenceParams inference,
 
 void RSDoSFeed::ingest(const attack::AttackSchedule& schedule,
                        const Darknet& darknet, std::uint64_t seed) {
+  obs::ScopedSpan span(obs::installed_tracer(), "feed.ingest");
   const double fraction = darknet.ipv4_fraction();
   const std::uint32_t subnets = darknet.slash16_count();
+  const std::size_t records_before = records_.size();
+  std::uint64_t windows_observed = 0;
   for (const auto& atk : schedule.attacks()) {
     // Per-attack RNG stream keyed by (seed, attack id): ingest order does
     // not affect results, and re-ingesting reproduces the same feed.
     netsim::Rng rng(netsim::mix64(seed ^ atk.id * 0x9E3779B97F4A7C15ull));
     for (netsim::WindowIndex w = atk.first_window(); w <= atk.last_window();
          ++w) {
+      ++windows_observed;
       const auto bw = attack::observe_backscatter(atk, w, fraction, subnets,
                                                   model_, rng);
       if (passes_thresholds(bw, inference_)) {
@@ -26,9 +32,16 @@ void RSDoSFeed::ingest(const attack::AttackSchedule& schedule,
       }
     }
   }
+  span.set_items(windows_observed);
+  if (obs::Observer* o = obs::Observer::installed()) {
+    o->pipeline.feed_windows_observed.inc(windows_observed);
+    o->pipeline.feed_records.inc(records_.size() - records_before);
+  }
 }
 
 std::vector<RSDoSEvent> RSDoSFeed::events() const {
+  obs::ScopedSpan span(obs::installed_tracer(), "feed.segment_events");
+  span.set_items(records_.size());
   return segment_events(records_, inference_);
 }
 

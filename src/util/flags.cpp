@@ -31,10 +31,18 @@ void FlagParser::add_bool(const std::string& name, std::string help) {
   flags_[name] = Flag{Type::Bool, "false", "false", std::move(help)};
 }
 
+std::string FlagParser::unknown_flag_error(const std::string& name) const {
+  std::string msg = "unknown flag --" + name + "; valid flags:";
+  for (const auto& [known, flag] : flags_) {
+    msg += " --" + known;
+  }
+  return msg;
+}
+
 bool FlagParser::set_value(const std::string& name, const std::string& value) {
   const auto it = flags_.find(name);
   if (it == flags_.end()) {
-    error_ = "unknown flag --" + name;
+    error_ = unknown_flag_error(name);
     return false;
   }
   switch (it->second.type) {
@@ -91,7 +99,7 @@ bool FlagParser::parse(const std::vector<std::string>& args) {
     const std::string name(arg);
     const auto it = flags_.find(name);
     if (it == flags_.end()) {
-      error_ = "unknown flag --" + name;
+      error_ = unknown_flag_error(name);
       return false;
     }
     if (it->second.type == Type::Bool) {

@@ -52,6 +52,9 @@ class FlagParser {
   };
 
   bool set_value(const std::string& name, const std::string& value);
+  /// "unknown flag --x; valid flags: --a --b ..." — typos fail loudly with
+  /// the full registered-flag list.
+  std::string unknown_flag_error(const std::string& name) const;
 
   std::string description_;
   std::map<std::string, Flag> flags_;

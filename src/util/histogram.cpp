@@ -39,6 +39,17 @@ std::size_t LinearHistogram::mode_bin() const {
       std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
 }
 
+void LinearHistogram::merge(const LinearHistogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("LinearHistogram::merge: shape mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
 LogHistogram::LogHistogram(double base, double decades_per_bin,
                            std::size_t bins)
     : base_(base), decades_(decades_per_bin), counts_(bins, 0) {
@@ -67,6 +78,17 @@ double LogHistogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
 double LogHistogram::fraction(std::size_t i) const {
   if (total_ == 0) return 0.0;
   return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (base_ != other.base_ || decades_ != other.decades_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("LogHistogram::merge: shape mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
 }
 
 void CategoryCounter::add(const std::string& key, std::uint64_t weight) {

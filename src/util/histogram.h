@@ -29,6 +29,11 @@ class LinearHistogram {
   /// Index of the fullest bin (first one on ties).
   std::size_t mode_bin() const;
 
+  /// Add `other`'s counts bin-by-bin (per-thread histogram aggregation).
+  /// Throws std::invalid_argument unless both histograms share the same
+  /// (lo, hi, bins) shape.
+  void merge(const LinearHistogram& other);
+
  private:
   double lo_;
   double hi_;
@@ -51,6 +56,11 @@ class LogHistogram {
   double bin_hi(std::size_t i) const;
   std::uint64_t total() const { return total_; }
   double fraction(std::size_t i) const;
+
+  /// Add `other`'s counts bin-by-bin (per-thread histogram aggregation).
+  /// Throws std::invalid_argument unless both histograms share the same
+  /// (base, decades_per_bin, bins) shape.
+  void merge(const LogHistogram& other);
 
  private:
   double base_;

@@ -1,0 +1,190 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace ddos::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterRegistrationAndValue) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("pipeline.events");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same (name, labels) -> same instance.
+  EXPECT_EQ(&reg.counter("pipeline.events"), &c);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, LabelsDistinguishMetrics) {
+  MetricsRegistry reg;
+  Counter& nl = reg.counter("sweep.queries", {{"vantage", "nl"}});
+  Counter& us = reg.counter("sweep.queries", {{"vantage", "us"}});
+  EXPECT_NE(&nl, &us);
+  nl.inc(3);
+  us.inc(5);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 2u);
+  EXPECT_EQ(snap.samples[0].labels.at("vantage"), "nl");
+  EXPECT_DOUBLE_EQ(snap.samples[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(snap.samples[1].value, 5.0);
+}
+
+TEST(MetricsRegistry, KindClashThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("x", 1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("run.days_swept");
+  g.set(17.0);
+  g.add(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 20.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 1u);
+  EXPECT_EQ(snap.samples[0].kind, MetricKind::Gauge);
+  EXPECT_DOUBLE_EQ(snap.samples[0].value, 20.0);
+}
+
+TEST(MetricsRegistry, HistogramSnapshotBins) {
+  MetricsRegistry reg;
+  HistogramMetric& h = reg.histogram("rtt_ms", 1.0, 1.0, 5);
+  h.observe(5.0);       // [1, 10)
+  h.observe(50.0, 2);   // [10, 100)
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricSample* s = snap.find("rtt_ms");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, MetricKind::Histogram);
+  EXPECT_DOUBLE_EQ(s->value, 3.0);  // total observations
+  ASSERT_EQ(s->bins.size(), 2u);    // zero bins elided
+  EXPECT_DOUBLE_EQ(s->bins[0].lo, 1.0);
+  EXPECT_EQ(s->bins[0].count, 1u);
+  EXPECT_EQ(s->bins[1].count, 2u);
+}
+
+TEST(MetricsSnapshot, JsonShape) {
+  MetricsRegistry reg;
+  reg.counter("a.count").inc(7);
+  reg.gauge("b.level").set(1.5);
+  reg.histogram("c.dist", 1.0, 1.0, 4).observe(3.0);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"name\":\"a.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"bins\":["), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+}
+
+TEST(MetricsSnapshot, TableListsEveryMetric) {
+  MetricsRegistry reg;
+  reg.counter("one").inc();
+  reg.gauge("two").set(2.0);
+  const std::string table = reg.snapshot().to_table();
+  EXPECT_NE(table.find("one"), std::string::npos);
+  EXPECT_NE(table.find("two"), std::string::npos);
+  EXPECT_NE(table.find("counter"), std::string::npos);
+  EXPECT_NE(table.find("gauge"), std::string::npos);
+}
+
+TEST(JsonEscape, ControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+// The ThreadSanitizer CI job runs this to validate the lock-free counters
+// and the sharded histogram under real contention.
+TEST(MetricsRegistry, MultiThreadedHammer) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hammer.count");
+  Gauge& g = reg.gauge("hammer.gauge");
+  HistogramMetric& h = reg.histogram("hammer.dist", 1.0, 1.0, 8);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        g.add(1.0);
+        h.observe(static_cast<double>(1 + (t * kIters + i) % 1000));
+        if (i % 4096 == 0) {
+          // Concurrent snapshots must not disturb the totals.
+          (void)reg.snapshot();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads) * kIters);
+  EXPECT_EQ(h.snapshot().total(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(Observer, PipelineMetricsPreRegistered) {
+  Observer obs;
+  obs.pipeline.resolver_queries.inc(5);
+  const MetricsSnapshot snap = obs.metrics().snapshot();
+  const MetricSample* s = snap.find("resolver.queries");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->value, 5.0);
+  EXPECT_NE(snap.find("sweep.rtt_ms"), nullptr);
+  EXPECT_NE(snap.find("join.events_out"), nullptr);
+}
+
+TEST(Observer, InstallAndScopedRestore) {
+  ASSERT_EQ(Observer::installed(), nullptr);
+  Observer outer;
+  {
+    ScopedInstall outer_install(outer);
+    EXPECT_EQ(Observer::installed(), &outer);
+    {
+      Observer inner;
+      ScopedInstall inner_install(inner);
+      EXPECT_EQ(Observer::installed(), &inner);
+    }
+    EXPECT_EQ(Observer::installed(), &outer);
+  }
+  EXPECT_EQ(Observer::installed(), nullptr);
+}
+
+TEST(Observer, ProgressThrottleAndForce) {
+  Observer obs;
+  int emitted = 0;
+  // A huge interval: only forced events get through after the first.
+  obs.set_progress([&](const ProgressEvent&) { ++emitted; },
+                   /*min_interval_ms=*/3600000);
+  ProgressEvent ev;
+  obs.emit_progress(ev);          // first always emits
+  obs.emit_progress(ev);          // throttled
+  obs.emit_progress(ev);          // throttled
+  EXPECT_EQ(emitted, 1);
+  obs.emit_progress(ev, /*force=*/true);
+  EXPECT_EQ(emitted, 2);
+
+  // Interval 0 disables throttling entirely.
+  Observer obs2;
+  int emitted2 = 0;
+  obs2.set_progress([&](const ProgressEvent&) { ++emitted2; }, 0);
+  obs2.emit_progress(ev);
+  obs2.emit_progress(ev);
+  EXPECT_EQ(emitted2, 2);
+}
+
+}  // namespace
+}  // namespace ddos::obs

@@ -51,6 +51,23 @@ TEST(Flags, UnknownFlagFails) {
   EXPECT_NE(flags.error().find("unknown flag"), std::string::npos);
 }
 
+TEST(Flags, UnknownFlagErrorListsValidFlags) {
+  auto flags = make_parser();
+  EXPECT_FALSE(flags.parse({"--prgress"}));  // typo must fail loudly
+  const std::string& err = flags.error();
+  EXPECT_NE(err.find("unknown flag --prgress"), std::string::npos);
+  EXPECT_NE(err.find("valid flags:"), std::string::npos);
+  EXPECT_NE(err.find("--count"), std::string::npos);
+  EXPECT_NE(err.find("--name"), std::string::npos);
+  EXPECT_NE(err.find("--scale"), std::string::npos);
+  EXPECT_NE(err.find("--verbose"), std::string::npos);
+
+  // The =value syntax reports the same listing.
+  auto flags2 = make_parser();
+  EXPECT_FALSE(flags2.parse({"--bogus=3"}));
+  EXPECT_NE(flags2.error().find("valid flags:"), std::string::npos);
+}
+
 TEST(Flags, MissingValueFails) {
   auto flags = make_parser();
   EXPECT_FALSE(flags.parse({"--count"}));

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace ddos::util {
 namespace {
 
@@ -85,6 +87,72 @@ TEST(LogHistogram, InvalidConstructionThrows) {
   EXPECT_THROW(LogHistogram(0.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(LogHistogram(1.0, 0.0, 4), std::invalid_argument);
   EXPECT_THROW(LogHistogram(1.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(LinearHistogram, MergeAddsBinwise) {
+  LinearHistogram a(0.0, 10.0, 5);
+  LinearHistogram b(0.0, 10.0, 5);
+  a.add(1.0);
+  a.add(9.0, 2);
+  b.add(1.5, 3);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.bin(0), 4u);   // 1.0 + 1.5x3
+  EXPECT_EQ(a.bin(2), 1u);   // 5.0
+  EXPECT_EQ(a.bin(4), 2u);   // 9.0x2
+  EXPECT_EQ(a.total(), 7u);
+  // b is untouched.
+  EXPECT_EQ(b.total(), 4u);
+}
+
+TEST(LinearHistogram, MergeShapeMismatchThrows) {
+  LinearHistogram a(0.0, 10.0, 5);
+  EXPECT_THROW(a.merge(LinearHistogram(0.0, 10.0, 4)), std::invalid_argument);
+  EXPECT_THROW(a.merge(LinearHistogram(0.0, 20.0, 5)), std::invalid_argument);
+  EXPECT_THROW(a.merge(LinearHistogram(1.0, 10.0, 5)), std::invalid_argument);
+}
+
+TEST(LinearHistogram, MergeEmptyIsIdentity) {
+  LinearHistogram a(0.0, 4.0, 4);
+  a.add(1.0, 5);
+  a.merge(LinearHistogram(0.0, 4.0, 4));
+  EXPECT_EQ(a.total(), 5u);
+  EXPECT_EQ(a.bin(1), 5u);
+}
+
+TEST(LogHistogram, MergeAddsBinwise) {
+  LogHistogram a(1.0, 1.0, 4);
+  LogHistogram b(1.0, 1.0, 4);
+  a.add(5.0);       // bin 0
+  b.add(50.0, 2);   // bin 1
+  b.add(7.0);       // bin 0
+  a.merge(b);
+  EXPECT_EQ(a.bin(0), 2u);
+  EXPECT_EQ(a.bin(1), 2u);
+  EXPECT_EQ(a.total(), 4u);
+}
+
+TEST(LogHistogram, MergeShapeMismatchThrows) {
+  LogHistogram a(1.0, 1.0, 4);
+  EXPECT_THROW(a.merge(LogHistogram(1.0, 1.0, 5)), std::invalid_argument);
+  EXPECT_THROW(a.merge(LogHistogram(2.0, 1.0, 4)), std::invalid_argument);
+  EXPECT_THROW(a.merge(LogHistogram(1.0, 0.5, 4)), std::invalid_argument);
+}
+
+TEST(LogHistogram, MergeAccumulatesAcrossThreadsPattern) {
+  // The per-thread aggregation pattern obs::HistogramMetric relies on:
+  // independent shard histograms merged into one at snapshot time.
+  std::vector<LogHistogram> shards(4, LogHistogram(1.0, 1.0, 6));
+  for (std::size_t t = 0; t < shards.size(); ++t) {
+    for (int i = 0; i < 100; ++i) {
+      // Thread t observes 10^t-scaled values: one order of magnitude each.
+      shards[t].add(std::pow(10.0, static_cast<double>(t)) * 2.0);
+    }
+  }
+  LogHistogram merged(1.0, 1.0, 6);
+  for (const auto& s : shards) merged.merge(s);
+  EXPECT_EQ(merged.total(), 400u);
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_EQ(merged.bin(b), 100u);
 }
 
 TEST(CategoryCounter, CountsAndFractions) {

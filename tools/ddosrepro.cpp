@@ -4,6 +4,7 @@
 //                     [--zone <tld> --out <file>] [--audit]
 //   ddosrepro run     [--seed N --scale X --domains N --providers N]
 //                     [--events-csv <file>] [--feed-csv <file>]
+//                     [--metrics-out <file>] [--trace-out <file>] [--progress]
 //   ddosrepro analyze --events-csv <file>
 //   ddosrepro transip [--scale X]
 //   ddosrepro russia
@@ -12,13 +13,21 @@
 // shapes; `analyze` re-loads an exported events CSV and recomputes the
 // figure-level statistics, so analyses can be replayed without re-running
 // the simulation.
+//
+// Observability (run): --metrics-out writes a run-report JSON (config,
+// stage timings, metric snapshot, headline results), --trace-out writes a
+// Chrome trace_event file (open in chrome://tracing or Perfetto), and
+// --progress emits a one-line heartbeat per simulated sweep day on stderr.
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "core/analysis.h"
 #include "core/audit.h"
 #include "core/export.h"
 #include "dns/zonefile.h"
+#include "obs/obs.h"
+#include "obs/report.h"
 #include "scenario/driver.h"
 #include "scenario/russia.h"
 #include "scenario/transip.h"
@@ -115,6 +124,19 @@ void print_analysis(const std::vector<core::NssetAttackEvent>& events) {
   }
 }
 
+void print_progress(const obs::ProgressEvent& e) {
+  if (e.stage == "join") {
+    std::cerr << "[progress] join: " << e.joined << " NSSet-events from "
+              << e.events << " telescope events, "
+              << util::with_commas(e.measurements) << " measurements\n";
+    return;
+  }
+  std::cerr << "[progress] day " << e.day << " (" << e.days_done << "/"
+            << e.days_total << "): " << util::with_commas(e.measurements)
+            << " measurements, " << e.events << " events, "
+            << util::format_count(e.sweep_rate_per_s) << " sweeps/s\n";
+}
+
 int cmd_run(util::FlagParser& flags) {
   scenario::LongitudinalConfig cfg = scenario::default_longitudinal_config();
   cfg.world.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
@@ -123,6 +145,20 @@ int cmd_run(util::FlagParser& flags) {
   cfg.world.provider_count =
       static_cast<std::uint32_t>(flags.get_int("providers"));
   cfg.workload.scale = flags.get_double("scale");
+
+  const std::string metrics_path = flags.get_string("metrics-out");
+  const std::string trace_path = flags.get_string("trace-out");
+  const bool progress = flags.get_bool("progress");
+
+  // Observability is opt-in: with none of the three flags present, no
+  // observer is installed and the pipeline runs uninstrumented.
+  std::optional<obs::Observer> observer;
+  std::optional<obs::ScopedInstall> install;
+  if (progress || !metrics_path.empty() || !trace_path.empty()) {
+    observer.emplace();
+    if (progress) observer->set_progress(print_progress);
+    install.emplace(*observer);
+  }
 
   const auto r = scenario::run_longitudinal(cfg);
   std::cout << "pipeline: " << r.workload.schedule.size() << " attacks -> "
@@ -146,6 +182,39 @@ int cmd_run(util::FlagParser& flags) {
     r.feed.write_csv(out);
     std::cout << "wrote " << r.feed.records().size() << " feed records to "
               << feed_path << "\n";
+  }
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot write " << trace_path << "\n";
+      return 1;
+    }
+    observer->tracer().write_chrome_json(out);
+    std::cout << "wrote " << observer->tracer().event_count()
+              << " trace spans to " << trace_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    obs::RunReport report("run");
+    report.add_config("seed", flags.get_int("seed"));
+    report.add_config("domains", flags.get_int("domains"));
+    report.add_config("providers", flags.get_int("providers"));
+    report.add_config("scale", flags.get_double("scale"));
+    report.add_result("attacks",
+                      static_cast<std::int64_t>(r.workload.schedule.size()));
+    report.add_result("feed_records",
+                      static_cast<std::int64_t>(r.feed.records().size()));
+    report.add_result("events", static_cast<std::int64_t>(r.events.size()));
+    report.add_result("joined", static_cast<std::int64_t>(r.joined.size()));
+    report.add_result("swept_measurements",
+                      static_cast<std::int64_t>(r.swept_measurements));
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    report.write(out, *observer);
+    std::cout << "wrote run report to " << metrics_path << "\n";
   }
   return 0;
 }
@@ -218,6 +287,14 @@ int main(int argc, char** argv) {
   flags.add_string("events-csv", "", "events CSV path (run: write; analyze: read)");
   flags.add_string("feed-csv", "", "RSDoS feed CSV output path (run)");
   flags.add_bool("audit", "run the structural delegation audit (world)");
+  flags.add_string("metrics-out", "",
+                   "run-report JSON output path: config, stage timings, "
+                   "metric snapshot (run)");
+  flags.add_string("trace-out", "",
+                   "Chrome trace_event JSON output path (run; open in "
+                   "chrome://tracing)");
+  flags.add_bool("progress",
+                 "print a per-sweep-day heartbeat line on stderr (run)");
 
   if (!flags.parse(argc - 1, argv + 1)) {
     std::cerr << flags.error() << "\n" << flags.usage();
