@@ -11,8 +11,10 @@
 
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "attack/backscatter.h"
+#include "exec/pool.h"
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "core/analysis.h"
@@ -207,18 +209,54 @@ void BM_DelegationAudit(benchmark::State& state) {
 }
 BENCHMARK(BM_DelegationAudit);
 
+// Wall time of the first depth<=1 stage span named `name`, 0 if absent.
+std::uint64_t stage_wall_ns(const obs::Observer& observer,
+                            const std::string& name) {
+  for (const auto& ev : observer.tracer().events()) {
+    if (ev.depth <= 1 && ev.name == name) return ev.duration_ns;
+  }
+  return 0;
+}
+
 // Instrumented end-to-end run for the perf-trajectory JSON; same
 // parameterisation as small_run() so numbers are comparable across PRs.
+// The pipeline is run twice — single-threaded and at hardware width — so
+// the JSON captures the scaling trajectory (per-stage walls at 1 and N
+// threads plus the sweep-stage speedup), not just single-core ns.
 void write_pipeline_json(const char* path) {
-  obs::Observer observer;
   scenario::LongitudinalConfig cfg = scenario::small_longitudinal_config(3);
   cfg.world.domain_count = 20000;
   cfg.world.provider_count = 300;
   cfg.workload.scale = 120.0;
-  scenario::LongitudinalResult result = [&] {
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned threads = hw > 0 ? hw : 1;
+
+  obs::Observer observer_t1;
+  exec::set_global_threads(1);
+  const scenario::LongitudinalResult result_t1 = [&] {
+    const obs::ScopedInstall install(observer_t1);
+    return scenario::run_longitudinal(cfg);
+  }();
+
+  obs::Observer observer;
+  exec::set_global_threads(threads);
+  const scenario::LongitudinalResult result = [&] {
     const obs::ScopedInstall install(observer);
     return scenario::run_longitudinal(cfg);
   }();
+  exec::set_global_threads(0);
+
+  if (result.joined.size() != result_t1.joined.size() ||
+      result.swept_measurements != result_t1.swept_measurements) {
+    std::cerr << "DETERMINISM VIOLATION: --threads 1 and --threads "
+              << threads << " runs disagree\n";
+  }
+
+  const std::uint64_t sweep_t1 = stage_wall_ns(observer_t1, "sweep");
+  const std::uint64_t sweep_tn = stage_wall_ns(observer, "sweep");
+  const std::uint64_t total_t1 = stage_wall_ns(observer_t1, "run_longitudinal");
+  const std::uint64_t total_tn = stage_wall_ns(observer, "run_longitudinal");
 
   obs::RunReport report("bench_perf_pipeline");
   report.add_config("seed", static_cast<std::int64_t>(3));
@@ -227,19 +265,35 @@ void write_pipeline_json(const char* path) {
   report.add_config("providers",
                     static_cast<std::int64_t>(cfg.world.provider_count));
   report.add_config("scale", cfg.workload.scale);
+  report.add_config("threads", static_cast<std::int64_t>(threads));
   report.add_result("events", static_cast<std::int64_t>(result.events.size()));
   report.add_result("joined", static_cast<std::int64_t>(result.joined.size()));
   report.add_result("swept_measurements",
                     static_cast<std::int64_t>(result.swept_measurements));
+  report.add_result("sweep_wall_ns_t1", static_cast<std::int64_t>(sweep_t1));
+  report.add_result("sweep_wall_ns_tN", static_cast<std::int64_t>(sweep_tn));
+  report.add_result("total_wall_ns_t1", static_cast<std::int64_t>(total_t1));
+  report.add_result("total_wall_ns_tN", static_cast<std::int64_t>(total_tn));
+  report.add_result("sweep_speedup",
+                    sweep_tn > 0 ? static_cast<double>(sweep_t1) /
+                                       static_cast<double>(sweep_tn)
+                                 : 0.0);
 
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot write " << path << "\n";
     return;
   }
+  // Stage table and metric snapshot come from the N-thread run — the
+  // configuration future scale-up PRs care about.
   report.write(out, observer);
   std::cout << "\nwrote instrumented pipeline stage timings to " << path
-            << "\n";
+            << " (sweep speedup at " << threads << " threads: "
+            << (sweep_tn > 0
+                    ? static_cast<double>(sweep_t1) /
+                          static_cast<double>(sweep_tn)
+                    : 0.0)
+            << "x)\n";
 }
 
 }  // namespace

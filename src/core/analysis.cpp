@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "exec/parallel.h"
 #include "obs/obs.h"
 #include "util/stats.h"
 
@@ -39,21 +40,40 @@ std::vector<MonthlyRow> monthly_summary(
     std::unordered_set<netsim::IPv4Addr> dns_ips;
     std::unordered_set<netsim::IPv4Addr> other_ips;
   };
-  std::map<YearMonth, Acc> by_month;
-  for (const auto& ev : events) {
-    Acc& acc = by_month[ym_of(ev)];
-    // Table 3 counts every attack on an IP appearing in NS records as a
-    // DNS attack; open resolvers are filtered later, in the impact join
-    // (the paper surfaces them in Table 5 first).
-    const bool is_dns = registry.is_ns_ip(ev.victim);
-    if (is_dns) {
-      ++acc.dns_attacks;
-      acc.dns_ips.insert(ev.victim);
-    } else {
-      ++acc.other_attacks;
-      acc.other_ips.insert(ev.victim);
-    }
-  }
+  // Month buckets and IP sets are order-independent, so events shard over
+  // the pool and per-shard maps merge in shard order.
+  exec::RegionOptions opts;
+  opts.label = "analysis.monthly_summary";
+  std::map<YearMonth, Acc> by_month = exec::parallel_map_reduce(
+      events.size(), opts, std::map<YearMonth, Acc>{},
+      [&](const exec::ShardRange& range) {
+        std::map<YearMonth, Acc> shard;
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          const auto& ev = events[i];
+          Acc& acc = shard[ym_of(ev)];
+          // Table 3 counts every attack on an IP appearing in NS records as
+          // a DNS attack; open resolvers are filtered later, in the impact
+          // join (the paper surfaces them in Table 5 first).
+          const bool is_dns = registry.is_ns_ip(ev.victim);
+          if (is_dns) {
+            ++acc.dns_attacks;
+            acc.dns_ips.insert(ev.victim);
+          } else {
+            ++acc.other_attacks;
+            acc.other_ips.insert(ev.victim);
+          }
+        }
+        return shard;
+      },
+      [](std::map<YearMonth, Acc>& acc, std::map<YearMonth, Acc>&& shard) {
+        for (auto& [ym, part] : shard) {
+          Acc& dst = acc[ym];
+          dst.dns_attacks += part.dns_attacks;
+          dst.other_attacks += part.other_attacks;
+          dst.dns_ips.merge(part.dns_ips);
+          dst.other_ips.merge(part.other_ips);
+        }
+      });
   std::vector<MonthlyRow> rows;
   rows.reserve(by_month.size());
   for (const auto& [ym, acc] : by_month) {
@@ -203,16 +223,30 @@ PortDistribution port_distribution(
 FailureSummary failure_summary(const std::vector<NssetAttackEvent>& events) {
   obs::ScopedSpan span(obs::installed_tracer(), "analysis.failure_summary");
   span.set_items(events.size());
-  FailureSummary s;
+  exec::RegionOptions opts;
+  opts.label = "analysis.failure_summary";
+  FailureSummary s = exec::parallel_map_reduce(
+      events.size(), opts, FailureSummary{},
+      [&](const exec::ShardRange& range) {
+        FailureSummary shard;
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          const auto& ev = events[i];
+          shard.timeouts += ev.timeouts;
+          shard.servfails += ev.servfails;
+          if (ev.any_failure()) {
+            ++shard.events_with_failures;
+            shard.failed_event_ports.add(port_bucket(ev.rsdos.first_port));
+          }
+        }
+        return shard;
+      },
+      [](FailureSummary& acc, FailureSummary&& shard) {
+        acc.timeouts += shard.timeouts;
+        acc.servfails += shard.servfails;
+        acc.events_with_failures += shard.events_with_failures;
+        acc.failed_event_ports.merge(shard.failed_event_ports);
+      });
   s.events = events.size();
-  for (const auto& ev : events) {
-    s.timeouts += ev.timeouts;
-    s.servfails += ev.servfails;
-    if (ev.any_failure()) {
-      ++s.events_with_failures;
-      s.failed_event_ports.add(port_bucket(ev.rsdos.first_port));
-    }
-  }
   return s;
 }
 
@@ -235,12 +269,24 @@ std::vector<FailurePoint> failure_points(
 ImpactSummary impact_summary(const std::vector<NssetAttackEvent>& events) {
   obs::ScopedSpan span(obs::installed_tracer(), "analysis.impact_summary");
   span.set_items(events.size());
-  ImpactSummary s;
+  exec::RegionOptions opts;
+  opts.label = "analysis.impact_summary";
+  ImpactSummary s = exec::parallel_map_reduce(
+      events.size(), opts, ImpactSummary{},
+      [&](const exec::ShardRange& range) {
+        ImpactSummary shard;
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          const auto& ev = events[i];
+          if (ev.peak_impact >= kImpairedThreshold) ++shard.impaired_10x;
+          if (ev.peak_impact >= kSevereThreshold) ++shard.severe_100x;
+        }
+        return shard;
+      },
+      [](ImpactSummary& acc, ImpactSummary&& shard) {
+        acc.impaired_10x += shard.impaired_10x;
+        acc.severe_100x += shard.severe_100x;
+      });
   s.events = events.size();
-  for (const auto& ev : events) {
-    if (ev.peak_impact >= kImpairedThreshold) ++s.impaired_10x;
-    if (ev.peak_impact >= kSevereThreshold) ++s.severe_100x;
-  }
   return s;
 }
 

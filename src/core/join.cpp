@@ -1,8 +1,10 @@
 #include "core/join.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "core/impact.h"
+#include "exec/parallel.h"
 #include "obs/obs.h"
 
 namespace ddos::core {
@@ -102,35 +104,63 @@ std::vector<NssetAttackEvent> JoinPipeline::run(
   stats_ = JoinStats{};
   stats_.total_events = events.size();
 
-  for (const auto& ev : events) {
-    if (registry_.is_open_resolver(ev.victim)) {
-      ++stats_.open_resolver_filtered;
-      continue;
-    }
-    if (!registry_.is_ns_ip(ev.victim)) {
-      ++stats_.non_dns;
-      continue;
-    }
-    ++stats_.dns_events;
+  // Per-event dispositions are independent const reads of the registry,
+  // store, and classifier, so events shard across the pool; the ordered
+  // reduction below re-assembles output and stats in event order.
+  struct ShardOut {
+    std::vector<NssetAttackEvent> joined;
+    JoinStats stats;
+  };
+  exec::RegionOptions opts;
+  opts.label = "join.events";
+  exec::parallel_map_reduce(
+      events.size(), opts, 0,
+      [&](const exec::ShardRange& range) {
+        ShardOut shard;
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          const auto& ev = events[i];
+          if (registry_.is_open_resolver(ev.victim)) {
+            ++shard.stats.open_resolver_filtered;
+            continue;
+          }
+          if (!registry_.is_ns_ip(ev.victim)) {
+            ++shard.stats.non_dns;
+            continue;
+          }
+          ++shard.stats.dns_events;
 
-    const netsim::DayIndex day_before = ev.start_time().day() - 1;
-    if (!store_.ns_seen_on(ev.victim, day_before)) {
-      // The previous-day join (§4.2): a server never successfully queried
-      // the day before cannot be mapped to hosted domains.
-      ++stats_.not_seen_day_before;
-      continue;
-    }
+          const netsim::DayIndex day_before = ev.start_time().day() - 1;
+          if (!store_.ns_seen_on(ev.victim, day_before)) {
+            // The previous-day join (§4.2): a server never successfully
+            // queried the day before cannot be mapped to hosted domains.
+            ++shard.stats.not_seen_day_before;
+            continue;
+          }
 
-    for (const dns::NssetId nsset : registry_.nssets_containing(ev.victim)) {
-      NssetAttackEvent nae;
-      if (build_event(ev, nsset, nae)) {
-        out.push_back(std::move(nae));
-        ++stats_.joined;
-      } else {
-        ++stats_.below_measurement_floor;
-      }
-    }
-  }
+          for (const dns::NssetId nsset :
+               registry_.nssets_containing(ev.victim)) {
+            NssetAttackEvent nae;
+            if (build_event(ev, nsset, nae)) {
+              shard.joined.push_back(std::move(nae));
+              ++shard.stats.joined;
+            } else {
+              ++shard.stats.below_measurement_floor;
+            }
+          }
+        }
+        return shard;
+      },
+      [&](int&, ShardOut&& shard) {
+        out.insert(out.end(),
+                   std::make_move_iterator(shard.joined.begin()),
+                   std::make_move_iterator(shard.joined.end()));
+        stats_.open_resolver_filtered += shard.stats.open_resolver_filtered;
+        stats_.non_dns += shard.stats.non_dns;
+        stats_.dns_events += shard.stats.dns_events;
+        stats_.not_seen_day_before += shard.stats.not_seen_day_before;
+        stats_.below_measurement_floor += shard.stats.below_measurement_floor;
+        stats_.joined += shard.stats.joined;
+      });
   if (params_.merge_concurrent) {
     out = merge_concurrent_events(std::move(out));
     stats_.joined = out.size();

@@ -1,0 +1,112 @@
+#include "exec/parallel.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <string>
+
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace ddos::exec {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::size_t plan_shards(std::size_t n, std::size_t max_shards) {
+  if (n == 0) return 0;
+  if (max_shards == 0) max_shards = 1;
+  return n < max_shards ? n : max_shards;
+}
+
+ShardRange shard_bounds(std::size_t n, std::size_t shards, std::size_t index) {
+  const std::size_t base = n / shards;
+  const std::size_t rem = n % shards;
+  ShardRange r;
+  r.index = index;
+  r.begin = index * base + (index < rem ? index : rem);
+  r.end = r.begin + base + (index < rem ? 1 : 0);
+  return r;
+}
+
+namespace detail {
+
+void run_region(std::size_t n, std::size_t shards, const RegionOptions& opts,
+                const std::function<void(const ShardRange&)>& shard_body) {
+  if (shards == 0) return;
+  WorkerPool& pool = opts.pool ? *opts.pool : global_pool();
+  const bool inline_run = pool.thread_count() <= 1 || shards <= 1 ||
+                          WorkerPool::inside_region();
+
+  obs::ScopedSpan region(obs::installed_tracer(), opts.label);
+  region.set_items(n);
+  region.arg("shards", static_cast<std::int64_t>(shards));
+  region.arg("threads", static_cast<std::int64_t>(
+                            inline_run ? 1 : pool.thread_count()));
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  const auto participant_loop = [&](unsigned participant) {
+    obs::ScopedSpan lane(obs::installed_tracer(),
+                         std::string(opts.label) + ".worker");
+    lane.arg("worker", static_cast<std::int64_t>(participant));
+    const std::uint64_t t0 = now_ns();
+    std::uint64_t claimed = 0;
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= shards) break;
+      ++claimed;
+      try {
+        shard_body(shard_bounds(n, shards, shard));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    lane.set_items(claimed);
+    pool.record_shards(participant, claimed, now_ns() - t0);
+  };
+
+  if (inline_run) {
+    participant_loop(0);
+  } else {
+    pool.run_on_all(participant_loop);
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+  publish_exec_metrics(pool);
+}
+
+}  // namespace detail
+
+void publish_exec_metrics(WorkerPool& pool) {
+  obs::Observer* o = obs::Observer::installed();
+  if (!o) return;
+  obs::MetricsRegistry& registry = o->metrics();
+  registry.gauge("exec.threads").set(static_cast<double>(pool.thread_count()));
+  const std::vector<WorkerStats> stats = pool.stats();
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const obs::MetricLabels labels{{"worker", std::to_string(i)}};
+    registry.gauge("exec.tasks", labels)
+        .set(static_cast<double>(stats[i].tasks));
+    registry.gauge("exec.busy_ns", labels)
+        .set(static_cast<double>(stats[i].busy_ns));
+    registry.gauge("exec.queue_wait_ns", labels)
+        .set(static_cast<double>(stats[i].queue_wait_ns));
+  }
+}
+
+}  // namespace ddos::exec

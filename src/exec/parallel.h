@@ -1,0 +1,104 @@
+// Deterministic parallel regions: static sharding + ordered reduction.
+//
+// The determinism contract (DESIGN.md §"Parallel execution") rests on two
+// rules this header enforces:
+//
+//   1. *Static sharding* — the shard structure for n items is a pure
+//      function of n (plan_shards/shard_bounds), never of the thread
+//      count. A `--threads 1` run executes the exact same shards as a
+//      `--threads 8` run, just sequentially.
+//   2. *Ordered reduction* — parallel_map_reduce folds per-shard results
+//      in shard index order, so floating-point accumulation order is
+//      fixed no matter which participant finished which shard first.
+//
+// Scheduling *within* a region is dynamic (participants race on an atomic
+// next-shard counter) because with the two rules above the execution order
+// is unobservable in the results.
+//
+// Shard bodies may throw: the first exception is captured, remaining
+// shards are abandoned, and the exception is rethrown on the calling
+// thread once the region has quiesced.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "exec/pool.h"
+
+namespace ddos::exec {
+
+/// Half-open item range [begin, end) forming shard `index` of a region.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t index = 0;
+
+  std::size_t size() const { return end - begin; }
+};
+
+/// Enough shards to keep any realistic worker complement busy with dynamic
+/// scheduling, few enough that per-shard overhead stays invisible.
+constexpr std::size_t kDefaultMaxShards = 64;
+
+/// Shard count for n items: min(n, max_shards). A pure function of n —
+/// never of the thread count — which is what makes the shard structure
+/// (and therefore every result) thread-count invariant.
+std::size_t plan_shards(std::size_t n,
+                        std::size_t max_shards = kDefaultMaxShards);
+
+/// Bounds of shard `index` out of `shards` over n items: contiguous,
+/// balanced to within one item, covering [0, n) exactly.
+ShardRange shard_bounds(std::size_t n, std::size_t shards, std::size_t index);
+
+struct RegionOptions {
+  const char* label = "exec.region";  // span name; workers get label.worker
+  std::size_t max_shards = kDefaultMaxShards;
+  WorkerPool* pool = nullptr;  // nullptr = global_pool()
+};
+
+namespace detail {
+/// Claims shards dynamically across pool participants and runs
+/// shard_body(range) for each; runs inline when the pool is single-
+/// threaded, the region has one shard, or we are already inside a region.
+void run_region(std::size_t n, std::size_t shards, const RegionOptions& opts,
+                const std::function<void(const ShardRange&)>& shard_body);
+}  // namespace detail
+
+/// Run body(range) over every shard of [0, n). body must not mutate state
+/// shared across shards except through its own disjoint output slots.
+template <typename Body>
+void parallel_for(std::size_t n, const RegionOptions& opts, Body&& body) {
+  if (n == 0) return;
+  detail::run_region(n, plan_shards(n, opts.max_shards), opts,
+                     [&](const ShardRange& range) { body(range); });
+}
+
+/// map(range) -> shard result (any movable type); reduce(acc, shard&&)
+/// folds the shard results into init *in shard index order* on the calling
+/// thread — reduce may therefore touch unsynchronised state (stores,
+/// sinks, running statistics) safely.
+template <typename Acc, typename Map, typename Reduce>
+Acc parallel_map_reduce(std::size_t n, const RegionOptions& opts, Acc init,
+                        const Map& map, const Reduce& reduce) {
+  if (n == 0) return init;
+  const std::size_t shards = plan_shards(n, opts.max_shards);
+  using Shard = std::invoke_result_t<Map, const ShardRange&>;
+  std::vector<std::optional<Shard>> slots(shards);
+  detail::run_region(n, shards, opts, [&](const ShardRange& range) {
+    slots[range.index].emplace(map(range));
+  });
+  Acc acc = std::move(init);
+  for (auto& slot : slots) reduce(acc, std::move(*slot));
+  return acc;
+}
+
+/// Export `exec.threads` and the per-worker `exec.tasks` / `exec.busy_ns` /
+/// `exec.queue_wait_ns` gauges (labels {worker: i}) to the installed
+/// observer; no-op without one. Called after every region.
+void publish_exec_metrics(WorkerPool& pool);
+
+}  // namespace ddos::exec

@@ -145,6 +145,15 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Condense the four state words (rotations break the xoshiro linearity),
+  // then mix in the stream id through two SplitMix64 rounds so adjacent ids
+  // land in unrelated seeds.
+  const std::uint64_t state =
+      s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ rotl(s_[3], 47);
+  return Rng(mix64(state ^ mix64(stream_id + 0x9E3779B97F4A7C15ull)));
+}
+
 // --- ZipfSampler (rejection-inversion, Hörmann & Derflinger 1996) ---------
 
 ZipfSampler::ZipfSampler(std::uint64_t n, double alpha)

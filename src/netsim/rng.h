@@ -73,7 +73,15 @@ class Rng {
   }
 
   /// Derive an independent child generator (for per-entity streams).
+  /// Advances this generator; successive forks yield different children.
   Rng fork();
+
+  /// Derive an independent child stream keyed by `stream_id` WITHOUT
+  /// advancing this generator: split(k) is a pure function of (state, k),
+  /// so parallel shards can each derive their own stream from a shared
+  /// parent in any order — the basis of thread-count-invariant results in
+  /// src/exec/ regions.
+  Rng split(std::uint64_t stream_id) const;
 
  private:
   std::uint64_t s_[4];

@@ -45,17 +45,25 @@ void Observer::set_progress(std::function<void(const ProgressEvent&)> callback,
                             std::uint64_t min_interval_ms) {
   on_progress_ = std::move(callback);
   progress_min_interval_ms_ = min_interval_ms;
-  progress_last_ns_ = 0;
+  progress_last_ns_.store(0, std::memory_order_relaxed);
 }
 
 void Observer::emit_progress(const ProgressEvent& event, bool force) {
   if (!on_progress_) return;
   const std::uint64_t now = tracer_.now_ns();
-  if (!force && progress_min_interval_ms_ > 0 && progress_last_ns_ > 0 &&
-      now - progress_last_ns_ < progress_min_interval_ms_ * 1'000'000ull) {
-    return;
+  if (!force && progress_min_interval_ms_ > 0) {
+    // Single atomic throttle slot: concurrent callers race on the CAS and
+    // exactly one emitter wins each interval, the rest drop their tick.
+    std::uint64_t last = progress_last_ns_.load(std::memory_order_relaxed);
+    const std::uint64_t interval_ns = progress_min_interval_ms_ * 1'000'000ull;
+    if (last > 0 && now - last < interval_ns) return;
+    if (!progress_last_ns_.compare_exchange_strong(
+            last, now, std::memory_order_relaxed)) {
+      return;
+    }
+  } else {
+    progress_last_ns_.store(now, std::memory_order_relaxed);
   }
-  progress_last_ns_ = now;
   on_progress_(event);
 }
 

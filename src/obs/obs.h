@@ -18,6 +18,7 @@
 // uninstall (ScopedInstall does both) before destroying it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -115,7 +116,9 @@ class Observer {
  private:
   std::function<void(const ProgressEvent&)> on_progress_;
   std::uint64_t progress_min_interval_ms_ = 500;
-  std::uint64_t progress_last_ns_ = 0;
+  // Atomic so concurrent emitters (parallel sweep shards) throttle safely;
+  // the CAS in emit_progress picks one winner per interval.
+  std::atomic<std::uint64_t> progress_last_ns_{0};
 };
 
 /// Tracer of the installed observer, or nullptr — the argument ScopedSpan

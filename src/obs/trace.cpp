@@ -20,6 +20,8 @@ std::uint64_t current_thread_id() {
 
 }  // namespace
 
+void set_thread_span_depth(std::uint32_t depth) { t_span_depth = depth; }
+
 Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
 
 std::uint64_t Tracer::now_ns() const {

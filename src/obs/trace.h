@@ -63,6 +63,11 @@ class Tracer {
   std::vector<TraceEvent> events_;
 };
 
+/// Set the calling thread's base span depth. Pool worker threads pin this
+/// to 2 so their shard spans nest below the run- and stage-level spans of
+/// the main thread (the run report only tabulates depth <= 1).
+void set_thread_span_depth(std::uint32_t depth);
+
 /// RAII span. `tracer == nullptr` disables the span entirely.
 class ScopedSpan {
  public:

@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "attack/schedule.h"
+#include "exec/parallel.h"
 #include "dns/load_model.h"
 #include "dns/registry.h"
 #include "dns/resolver.h"
@@ -60,6 +62,35 @@ class Sweeper {
     for (const dns::DomainId d : domains) {
       sink(measure(d, measurement_time(d, day)));
     }
+  }
+
+  /// Parallel variant: shards `domains` over `pool` workers (each
+  /// measurement already has its own (seed, domain, day)-keyed RNG stream)
+  /// and invokes `sink` on the calling thread in exact domain order, so
+  /// the output is bit-identical to the sequential overload for any
+  /// thread count.
+  template <typename Sink>
+  void sweep_domains(netsim::DayIndex day,
+                     std::span<const dns::DomainId> domains,
+                     exec::WorkerPool& pool, Sink&& sink) const {
+    exec::RegionOptions opts;
+    opts.label = "sweep.domains";
+    opts.pool = &pool;
+    exec::parallel_map_reduce(
+        domains.size(), opts, std::size_t{0},
+        [&](const exec::ShardRange& range) {
+          std::vector<Measurement> out;
+          out.reserve(range.size());
+          for (std::size_t i = range.begin; i < range.end; ++i) {
+            const dns::DomainId d = domains[i];
+            out.push_back(measure(d, measurement_time(d, day)));
+          }
+          return out;
+        },
+        [&](std::size_t& total, std::vector<Measurement>&& shard) {
+          for (const Measurement& m : shard) sink(m);
+          total += shard.size();
+        });
   }
 
   /// Measure one domain repeatedly at a fixed time (probe bursts for the

@@ -5,6 +5,7 @@
 #include <optional>
 #include <unordered_set>
 
+#include "exec/pool.h"
 #include "obs/obs.h"
 
 namespace ddos::scenario {
@@ -141,7 +142,9 @@ LongitudinalResult run_longitudinal(const LongitudinalConfig& config) {
       day_span.set_items(domains.size());
       day_domains.assign(domains.begin(), domains.end());
       std::sort(day_domains.begin(), day_domains.end());
-      sweeper.sweep_domains(day, day_domains,
+      // Parallel across domains within the day; the sink below runs on
+      // this thread in domain order, so store folds stay deterministic.
+      sweeper.sweep_domains(day, day_domains, exec::global_pool(),
                             [&result](const openintel::Measurement& m) {
                               result.store.add(m);
                               ++result.swept_measurements;

@@ -1,8 +1,11 @@
 #include "telescope/feed.h"
 
 #include <istream>
+#include <iterator>
 #include <string>
+#include <utility>
 
+#include "exec/parallel.h"
 #include "obs/obs.h"
 
 namespace ddos::telescope {
@@ -17,21 +20,43 @@ void RSDoSFeed::ingest(const attack::AttackSchedule& schedule,
   const double fraction = darknet.ipv4_fraction();
   const std::uint32_t subnets = darknet.slash16_count();
   const std::size_t records_before = records_.size();
-  std::uint64_t windows_observed = 0;
-  for (const auto& atk : schedule.attacks()) {
-    // Per-attack RNG stream keyed by (seed, attack id): ingest order does
-    // not affect results, and re-ingesting reproduces the same feed.
-    netsim::Rng rng(netsim::mix64(seed ^ atk.id * 0x9E3779B97F4A7C15ull));
-    for (netsim::WindowIndex w = atk.first_window(); w <= atk.last_window();
-         ++w) {
-      ++windows_observed;
-      const auto bw = attack::observe_backscatter(atk, w, fraction, subnets,
-                                                  model_, rng);
-      if (passes_thresholds(bw, inference_)) {
-        records_.push_back(to_record(bw));
-      }
-    }
-  }
+  const auto& attacks = schedule.attacks();
+  // Parent stream for per-attack splits: each attack's RNG is a pure
+  // function of (seed, attack id), so shards can process attacks in any
+  // order and re-ingesting reproduces the same feed.
+  const netsim::Rng base(netsim::mix64(seed));
+
+  struct ShardOut {
+    std::vector<RSDoSRecord> records;
+    std::uint64_t windows_observed = 0;
+  };
+  exec::RegionOptions opts;
+  opts.label = "feed.ingest";
+  const std::uint64_t windows_observed = exec::parallel_map_reduce(
+      attacks.size(), opts, std::uint64_t{0},
+      [&](const exec::ShardRange& range) {
+        ShardOut out;
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          const auto& atk = attacks[i];
+          netsim::Rng rng = base.split(atk.id);
+          for (netsim::WindowIndex w = atk.first_window();
+               w <= atk.last_window(); ++w) {
+            ++out.windows_observed;
+            const auto bw = attack::observe_backscatter(atk, w, fraction,
+                                                        subnets, model_, rng);
+            if (passes_thresholds(bw, inference_)) {
+              out.records.push_back(to_record(bw));
+            }
+          }
+        }
+        return out;
+      },
+      [this](std::uint64_t& total, ShardOut&& shard) {
+        records_.insert(records_.end(),
+                        std::make_move_iterator(shard.records.begin()),
+                        std::make_move_iterator(shard.records.end()));
+        total += shard.windows_observed;
+      });
   span.set_items(windows_observed);
   if (obs::Observer* o = obs::Observer::installed()) {
     o->pipeline.feed_windows_observed.inc(windows_observed);

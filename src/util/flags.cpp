@@ -21,6 +21,16 @@ void FlagParser::add_int(const std::string& name, std::int64_t default_value,
   flags_[name] = Flag{Type::Int, v, v, std::move(help)};
 }
 
+void FlagParser::add_uint(const std::string& name, std::uint64_t default_value,
+                          std::string help, std::uint64_t min_value,
+                          std::uint64_t max_value) {
+  const std::string v = std::to_string(default_value);
+  Flag flag{Type::Uint, v, v, std::move(help)};
+  flag.min_value = min_value;
+  flag.max_value = max_value;
+  flags_[name] = std::move(flag);
+}
+
 void FlagParser::add_double(const std::string& name, double default_value,
                             std::string help) {
   const std::string v = format_fixed(default_value, 6);
@@ -51,6 +61,20 @@ bool FlagParser::set_value(const std::string& name, const std::string& value) {
       double d = 0.0;
       if (!parse_u64(value, u) && !(parse_double(value, d))) {
         error_ = "flag --" + name + " expects an integer, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case Type::Uint: {
+      std::uint64_t u = 0;
+      if (!parse_u64(value, u) || u < it->second.min_value ||
+          u > it->second.max_value) {
+        std::string range = "[" + std::to_string(it->second.min_value) + ", ";
+        range += it->second.max_value == UINT64_MAX
+                     ? "inf)"
+                     : std::to_string(it->second.max_value) + "]";
+        error_ = "flag --" + name + " expects an unsigned integer in " +
+                 range + ", got '" + value + "'";
         return false;
       }
       break;
@@ -129,6 +153,12 @@ std::int64_t FlagParser::get_int(const std::string& name) const {
   double d = 0.0;
   parse_double(flags_.at(name).value, d);
   return static_cast<std::int64_t>(d);
+}
+
+std::uint64_t FlagParser::get_uint(const std::string& name) const {
+  std::uint64_t u = 0;
+  parse_u64(flags_.at(name).value, u);
+  return u;
 }
 
 double FlagParser::get_double(const std::string& name) const {

@@ -21,6 +21,12 @@ class FlagParser {
                   std::string help);
   void add_int(const std::string& name, std::int64_t default_value,
                std::string help);
+  /// Unsigned integer with inclusive range validation: values outside
+  /// [min_value, max_value] (or non-numeric input) fail the parse with a
+  /// message naming the accepted range.
+  void add_uint(const std::string& name, std::uint64_t default_value,
+                std::string help, std::uint64_t min_value = 0,
+                std::uint64_t max_value = UINT64_MAX);
   void add_double(const std::string& name, double default_value,
                   std::string help);
   void add_bool(const std::string& name, std::string help);
@@ -32,6 +38,7 @@ class FlagParser {
 
   std::string get_string(const std::string& name) const;
   std::int64_t get_int(const std::string& name) const;
+  std::uint64_t get_uint(const std::string& name) const;
   double get_double(const std::string& name) const;
   bool get_bool(const std::string& name) const;
 
@@ -43,12 +50,14 @@ class FlagParser {
   std::string usage() const;
 
  private:
-  enum class Type { String, Int, Double, Bool };
+  enum class Type { String, Int, Uint, Double, Bool };
   struct Flag {
     Type type;
     std::string value;  // textual; parsed on get
     std::string default_value;
     std::string help;
+    std::uint64_t min_value = 0;           // Uint only
+    std::uint64_t max_value = UINT64_MAX;  // Uint only
   };
 
   bool set_value(const std::string& name, const std::string& value);

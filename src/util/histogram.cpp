@@ -96,6 +96,11 @@ void CategoryCounter::add(const std::string& key, std::uint64_t weight) {
   total_ += weight;
 }
 
+void CategoryCounter::merge(const CategoryCounter& other) {
+  for (const auto& [key, n] : other.counts_) counts_[key] += n;
+  total_ += other.total_;
+}
+
 std::uint64_t CategoryCounter::count(const std::string& key) const {
   const auto it = counts_.find(key);
   return it == counts_.end() ? 0 : it->second;

@@ -82,6 +82,10 @@ class CategoryCounter {
   std::vector<std::pair<std::string, std::uint64_t>> top(std::size_t k) const;
   std::size_t distinct() const { return counts_.size(); }
 
+  /// Fold another counter in (per-shard counters reduced after a parallel
+  /// region). Count maps are order-independent, so merge order is free.
+  void merge(const CategoryCounter& other);
+
  private:
   std::map<std::string, std::uint64_t> counts_;
   std::uint64_t total_ = 0;

@@ -232,6 +232,63 @@ TEST(Zipf, HeadProbabilityMatchesTheory) {
   EXPECT_NEAR(static_cast<double>(rank1) / samples, 1.0 / h, 0.01);
 }
 
+TEST(RngSplit, DoesNotAdvanceParent) {
+  Rng a(42);
+  Rng b(42);
+  (void)a.split(7);
+  (void)a.split(9);
+  // Parent state untouched: both generators continue identically.
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngSplit, PureFunctionOfStateAndId) {
+  const Rng parent(99);
+  Rng c1 = parent.split(5);
+  Rng c2 = parent.split(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+TEST(RngSplit, DistinctIdsGiveIndependentStreams) {
+  const Rng parent(1);
+  Rng c0 = parent.split(0);
+  Rng c1 = parent.split(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c0.next_u64() == c1.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+  // Adjacent ids must not correlate in the low bits either.
+  const Rng p2(1);
+  for (std::uint64_t id = 0; id < 8; ++id) {
+    Rng a = p2.split(id);
+    Rng b = p2.split(id + 1);
+    EXPECT_NE(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngSplit, DiffersFromParentStream) {
+  const Rng parent(7);
+  Rng copy = parent;
+  Rng child = parent.split(0);
+  EXPECT_NE(copy.next_u64(), child.next_u64());
+}
+
+TEST(RngSplit, ChildUniformityIsSane) {
+  // Coarse uniformity across children keyed by consecutive ids (the
+  // parallel-shard pattern): bucket the first draw of 4096 children.
+  const Rng parent(123);
+  int buckets[16] = {0};
+  const int children = 4096;
+  for (int id = 0; id < children; ++id) {
+    Rng child = parent.split(static_cast<std::uint64_t>(id));
+    buckets[child.next_u64() >> 60] += 1;
+  }
+  for (int b = 0; b < 16; ++b) {
+    EXPECT_GT(buckets[b], children / 16 / 2) << "bucket " << b;
+    EXPECT_LT(buckets[b], children / 16 * 2) << "bucket " << b;
+  }
+}
+
 TEST(Zipf, InvalidArgsThrow) {
   EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
   EXPECT_THROW(ZipfSampler(10, 0.0), std::invalid_argument);

@@ -94,6 +94,38 @@ TEST(Flags, HelpRequested) {
   EXPECT_NE(flags.usage().find("a double"), std::string::npos);
 }
 
+TEST(Flags, UintRangeValidation) {
+  FlagParser flags("test tool");
+  flags.add_uint("threads", 4, "worker threads", 1, 4096);
+  ASSERT_TRUE(flags.parse({}));
+  EXPECT_EQ(flags.get_uint("threads"), 4u);
+
+  FlagParser ok("test tool");
+  ok.add_uint("threads", 4, "worker threads", 1, 4096);
+  ASSERT_TRUE(ok.parse({"--threads", "8"}));
+  EXPECT_EQ(ok.get_uint("threads"), 8u);
+
+  // Zero is below the range: clear error naming the accepted interval.
+  FlagParser zero("test tool");
+  zero.add_uint("threads", 4, "worker threads", 1, 4096);
+  EXPECT_FALSE(zero.parse({"--threads", "0"}));
+  EXPECT_NE(zero.error().find("unsigned integer in [1, 4096]"),
+            std::string::npos);
+
+  FlagParser over("test tool");
+  over.add_uint("threads", 4, "worker threads", 1, 4096);
+  EXPECT_FALSE(over.parse({"--threads", "5000"}));
+
+  FlagParser garbage("test tool");
+  garbage.add_uint("threads", 4, "worker threads", 1, 4096);
+  EXPECT_FALSE(garbage.parse({"--threads", "lots"}));
+  EXPECT_NE(garbage.error().find("got 'lots'"), std::string::npos);
+
+  FlagParser negative("test tool");
+  negative.add_uint("threads", 4, "worker threads", 1, 4096);
+  EXPECT_FALSE(negative.parse({"--threads", "-2"}));
+}
+
 TEST(Flags, NegativeAndScientificNumbers) {
   auto flags = make_parser();
   ASSERT_TRUE(flags.parse({"--scale", "-3e2", "--count", "-5"}));

@@ -21,8 +21,10 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <thread>
 
 #include "core/analysis.h"
+#include "exec/pool.h"
 #include "core/audit.h"
 #include "core/export.h"
 #include "dns/zonefile.h"
@@ -146,6 +148,9 @@ int cmd_run(util::FlagParser& flags) {
       static_cast<std::uint32_t>(flags.get_int("providers"));
   cfg.workload.scale = flags.get_double("scale");
 
+  const unsigned threads = static_cast<unsigned>(flags.get_uint("threads"));
+  exec::set_global_threads(threads);
+
   const std::string metrics_path = flags.get_string("metrics-out");
   const std::string trace_path = flags.get_string("trace-out");
   const bool progress = flags.get_bool("progress");
@@ -200,6 +205,7 @@ int cmd_run(util::FlagParser& flags) {
     report.add_config("domains", flags.get_int("domains"));
     report.add_config("providers", flags.get_int("providers"));
     report.add_config("scale", flags.get_double("scale"));
+    report.add_config("threads", static_cast<std::int64_t>(threads));
     report.add_result("attacks",
                       static_cast<std::int64_t>(r.workload.schedule.size()));
     report.add_result("feed_records",
@@ -282,6 +288,11 @@ int main(int argc, char** argv) {
   flags.add_int("domains", 120000, "registered domains in the world");
   flags.add_int("providers", 1200, "hosting providers in the world");
   flags.add_double("scale", 30.0, "divide the paper's attack counts by this");
+  const unsigned hw = std::thread::hardware_concurrency();
+  flags.add_uint("threads", hw > 0 ? hw : 1,
+                 "worker threads for the pipeline; results are identical "
+                 "for any value (run)",
+                 1, 4096);
   flags.add_string("zone", "", "TLD to export as a parent-zone file");
   flags.add_string("out", "", "output path for --zone");
   flags.add_string("events-csv", "", "events CSV path (run: write; analyze: read)");
