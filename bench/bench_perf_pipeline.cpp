@@ -9,6 +9,8 @@
 // machine-readable per-stage ns + items/sec trajectory to diff against.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <thread>
@@ -258,6 +260,35 @@ void write_pipeline_json(const char* path) {
   const std::uint64_t total_t1 = stage_wall_ns(observer_t1, "run_longitudinal");
   const std::uint64_t total_tn = stage_wall_ns(observer, "run_longitudinal");
 
+  // DRS store round trip at the same world size: write the N-thread
+  // result, read it back, and time both, so the JSON tracks store
+  // throughput and the analyze-from-store speedup over re-simulating.
+  const char* store_path = "bench_perf_pipeline.drs";
+  const auto wall_ns = [](auto start, auto end) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count());
+  };
+  const auto write_start = std::chrono::steady_clock::now();
+  const std::uint64_t store_bytes =
+      scenario::save_run(store_path, cfg, threads, result);
+  const auto write_end = std::chrono::steady_clock::now();
+  const scenario::StoredRun loaded = scenario::load_run(store_path);
+  const auto read_end = std::chrono::steady_clock::now();
+  if (loaded.joined != result.joined) {
+    std::cerr << "STORE ROUND-TRIP VIOLATION: loaded events differ from the "
+                 "generating run\n";
+  }
+  std::filesystem::remove(store_path);
+
+  const std::uint64_t store_write_ns = wall_ns(write_start, write_end);
+  const std::uint64_t store_read_ns = wall_ns(write_end, read_end);
+  const auto mbps = [store_bytes](std::uint64_t ns) {
+    return ns > 0 ? static_cast<double>(store_bytes) * 1e3 /
+                        static_cast<double>(ns)
+                  : 0.0;  // bytes/ns * 1e3 == MB/s
+  };
+
   obs::RunReport report("bench_perf_pipeline");
   report.add_config("seed", static_cast<std::int64_t>(3));
   report.add_config("domains",
@@ -278,6 +309,18 @@ void write_pipeline_json(const char* path) {
                     sweep_tn > 0 ? static_cast<double>(sweep_t1) /
                                        static_cast<double>(sweep_tn)
                                  : 0.0);
+  report.add_result("store_bytes", static_cast<std::int64_t>(store_bytes));
+  report.add_result("store_write_ns",
+                    static_cast<std::int64_t>(store_write_ns));
+  report.add_result("store_read_ns", static_cast<std::int64_t>(store_read_ns));
+  report.add_result("store_write_MBps", mbps(store_write_ns));
+  report.add_result("store_read_MBps", mbps(store_read_ns));
+  // analyze --store replaces a full re-simulation with one store read.
+  report.add_result("analyze_vs_run_speedup",
+                    store_read_ns > 0
+                        ? static_cast<double>(total_tn) /
+                              static_cast<double>(store_read_ns)
+                        : 0.0);
 
   std::ofstream out(path);
   if (!out) {
@@ -293,7 +336,8 @@ void write_pipeline_json(const char* path) {
                     ? static_cast<double>(sweep_t1) /
                           static_cast<double>(sweep_tn)
                     : 0.0)
-            << "x)\n";
+            << "x; store write " << mbps(store_write_ns) << " MB/s, read "
+            << mbps(store_read_ns) << " MB/s)\n";
 }
 
 }  // namespace

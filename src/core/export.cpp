@@ -32,11 +32,14 @@ void write_events_csv(std::ostream& out,
   }
 }
 
-std::vector<NssetAttackEvent> read_events_csv(std::istream& in) {
+std::vector<NssetAttackEvent> read_events_csv(std::istream& in,
+                                              EventsCsvReport* report) {
   std::vector<NssetAttackEvent> events;
+  std::uint64_t data_rows = 0;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line == events_csv_header()) continue;
+    ++data_rows;
     const auto fields = util::parse_csv_line(line);
     if (fields.size() != 17) continue;
     NssetAttackEvent ev;
@@ -82,6 +85,10 @@ std::vector<NssetAttackEvent> read_events_csv(std::istream& in) {
                   ev.domains_measured
             : 0.0;
     events.push_back(std::move(ev));
+  }
+  if (report) {
+    report->rows_read = events.size();
+    report->rows_skipped = data_rows - events.size();
   }
   return events;
 }

@@ -20,10 +20,21 @@ namespace ddos::core {
 void write_events_csv(std::ostream& out,
                       const std::vector<NssetAttackEvent>& events);
 
+/// Tally of a read_events_csv pass. Header and blank lines count toward
+/// neither field; `rows_skipped` is malformed data rows (wrong field
+/// count, unparsable numbers), which callers should surface — a nonzero
+/// skip count usually means a truncated or hand-edited file.
+struct EventsCsvReport {
+  std::uint64_t rows_read = 0;     // rows parsed into events
+  std::uint64_t rows_skipped = 0;  // malformed rows dropped
+};
+
 /// Parse rows written by write_events_csv (header optional). Rows that do
-/// not parse are skipped; returns the events read. The resilience org may
-/// contain commas — it is CSV-quoted on write and unquoted on read.
-std::vector<NssetAttackEvent> read_events_csv(std::istream& in);
+/// not parse are skipped; returns the events read and, when `report` is
+/// non-null, fills in the read/skip tally. The resilience org may contain
+/// commas — it is CSV-quoted on write and unquoted on read.
+std::vector<NssetAttackEvent> read_events_csv(std::istream& in,
+                                              EventsCsvReport* report = nullptr);
 
 /// Header line of the export format.
 std::string events_csv_header();

@@ -50,6 +50,11 @@ struct NssetAttackEvent {
     return domains_measured > 0 && ok == 0;
   }
   std::int64_t duration_s() const { return rsdos.duration_s(); }
+
+  /// Field-exact equality — the `generate --store` / `analyze --store`
+  /// round trip and the re-join assertion compare events bit-for-bit.
+  friend bool operator==(const NssetAttackEvent&,
+                         const NssetAttackEvent&) = default;
 };
 
 /// Join-level accounting: how each telescope event was disposed of.
@@ -62,6 +67,8 @@ struct JoinStats {
   std::uint64_t no_baseline = 0;
   std::uint64_t joined = 0;             // NSSet-events produced
   std::uint64_t dns_events = 0;         // events whose victim is an NS IP
+
+  friend bool operator==(const JoinStats&, const JoinStats&) = default;
 };
 
 struct JoinParams {

@@ -25,6 +25,10 @@ struct ResilienceProfile {
   std::string org;
   /// Majority origin ASN (0 when unrouted).
   topology::Asn asn = 0;
+
+  /// Field-exact equality (store round-trip assertions).
+  friend bool operator==(const ResilienceProfile&,
+                         const ResilienceProfile&) = default;
 };
 
 class ResilienceClassifier {

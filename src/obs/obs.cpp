@@ -37,7 +37,9 @@ PipelineMetrics::PipelineMetrics(MetricsRegistry& r)
       join_below_floor(r.counter("join.below_measurement_floor")),
       run_days_swept(r.gauge("run.days_swept")),
       run_domains_planned(r.gauge("run.domains_planned")),
-      run_store_measurements(r.gauge("run.store_measurements")) {}
+      run_store_measurements(r.gauge("run.store_measurements")),
+      store_bytes_written(r.gauge("store.bytes_written")),
+      store_bytes_read(r.gauge("store.bytes_read")) {}
 
 Observer::Observer() : pipeline(metrics_) {}
 

@@ -65,6 +65,9 @@ struct PipelineMetrics {
   Gauge& run_days_swept;
   Gauge& run_domains_planned;
   Gauge& run_store_measurements;
+  // scenario/driver.cpp — DRS dataset store I/O (generate/analyze split).
+  Gauge& store_bytes_written;
+  Gauge& store_bytes_read;
 
   explicit PipelineMetrics(MetricsRegistry& registry);
 };

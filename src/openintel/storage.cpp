@@ -1,5 +1,7 @@
 #include "openintel/storage.h"
 
+#include <algorithm>
+
 namespace ddos::openintel {
 
 void Aggregate::fold(const Measurement& m) {
@@ -89,6 +91,34 @@ void MeasurementStore::finalize_day(
       ++it;
     }
   }
+}
+
+std::vector<std::pair<std::uint64_t, Aggregate>>
+MeasurementStore::sorted_daily() const {
+  std::vector<std::pair<std::uint64_t, Aggregate>> out(daily_.begin(),
+                                                       daily_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, Aggregate>>
+MeasurementStore::sorted_window() const {
+  std::vector<std::pair<std::uint64_t, Aggregate>> out(window_.begin(),
+                                                       window_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::vector<std::pair<netsim::DayIndex, netsim::IPv4Addr>>
+MeasurementStore::sorted_ns_seen() const {
+  std::vector<std::pair<netsim::DayIndex, netsim::IPv4Addr>> out;
+  for (const auto& [day, ips] : ns_seen_) {
+    for (const netsim::IPv4Addr ip : ips) out.emplace_back(day, ip);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace ddos::openintel

@@ -19,6 +19,8 @@
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "openintel/measurement.h"
 #include "util/stats.h"
@@ -87,6 +89,41 @@ class MeasurementStore {
   std::size_t window_entries() const { return window_.size(); }
   std::size_t daily_entries() const { return daily_.size(); }
   std::uint64_t total_measurements() const { return total_; }
+
+  // ---- persistence hooks (the DRS dataset store). Snapshots are sorted
+  //      by key so the serialised bytes are deterministic; restore_*
+  //      bypasses the retention predicates (the generating run already
+  //      applied them).
+
+  /// (key, aggregate) pairs of the daily map, ascending by key.
+  std::vector<std::pair<std::uint64_t, Aggregate>> sorted_daily() const;
+  /// (key, aggregate) pairs of the window map, ascending by key.
+  std::vector<std::pair<std::uint64_t, Aggregate>> sorted_window() const;
+  /// (day, ns-ip) pairs of the seen-NS sets, ascending by (day, ip).
+  std::vector<std::pair<netsim::DayIndex, netsim::IPv4Addr>> sorted_ns_seen()
+      const;
+
+  void restore_daily(std::uint64_t key, const Aggregate& agg) {
+    daily_[key] = agg;
+  }
+  void restore_window(std::uint64_t key, const Aggregate& agg) {
+    window_[key] = agg;
+  }
+  void restore_ns_seen(netsim::DayIndex day, netsim::IPv4Addr ns) {
+    ns_seen_[day].insert(ns);
+  }
+  /// Restore the add() counter (a loaded store never saw the adds).
+  void set_total_measurements(std::uint64_t total) { total_ = total; }
+
+  /// Public key builders so persistence can decompose/rebuild map keys.
+  static std::uint64_t make_day_key(dns::NssetId nsset,
+                                    netsim::DayIndex day) {
+    return day_key(nsset, day);
+  }
+  static std::uint64_t make_window_key(dns::NssetId nsset,
+                                       netsim::WindowIndex window) {
+    return window_key(nsset, window);
+  }
 
  private:
   static std::uint64_t day_key(dns::NssetId nsset, netsim::DayIndex day) {

@@ -1,12 +1,19 @@
 #include "scenario/driver.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <optional>
+#include <string>
 #include <unordered_set>
 
 #include "exec/pool.h"
 #include "obs/obs.h"
+#include "store/dataset.h"
+#include "store/reader.h"
+#include "store/writer.h"
+#include "util/strings.h"
 
 namespace ddos::scenario {
 
@@ -198,6 +205,256 @@ LongitudinalResult run_longitudinal(const LongitudinalConfig& config) {
     progress.joined = result.joined.size();
     observer->emit_progress(progress, /*force=*/true);
   }
+  return result;
+}
+
+// ---- DRS persistence (generate/analyze stage split).
+
+namespace {
+
+// %.17g round-trips every finite double exactly (17 significant digits);
+// the store's provenance must restore configs bit-for-bit.
+std::string meta_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::uint64_t meta_u64(const store::Reader& reader, const std::string& key) {
+  std::uint64_t out = 0;
+  if (!util::parse_u64(reader.meta_value(key), out)) {
+    throw store::StoreError(reader.path() + ": meta key '" + key +
+                            "' is not an unsigned integer");
+  }
+  return out;
+}
+
+double meta_f64(const store::Reader& reader, const std::string& key) {
+  double out = 0.0;
+  if (!util::parse_double(reader.meta_value(key), out)) {
+    throw store::StoreError(reader.path() + ": meta key '" + key +
+                            "' is not a double");
+  }
+  return out;
+}
+
+void check_count(const store::Reader& reader, const std::string& what,
+                 std::uint64_t stored, std::uint64_t got) {
+  if (stored != got) {
+    throw store::StoreError(reader.path() + ": " + what + " count mismatch (" +
+                            std::to_string(got) + " decoded, provenance says " +
+                            std::to_string(stored) +
+                            ") — store and generating run disagree");
+  }
+}
+
+}  // namespace
+
+std::uint64_t save_run(const std::string& path,
+                       const LongitudinalConfig& config, unsigned threads,
+                       const LongitudinalResult& result) {
+  obs::Observer* observer = obs::Observer::installed();
+  obs::ScopedSpan span(observer ? &observer->tracer() : nullptr, "store.write");
+
+  store::Writer writer(path);
+  writer.add_meta("format.tool", "ddosrepro");
+
+  const WorldParams& w = config.world;
+  writer.add_meta("world.seed", std::to_string(w.seed));
+  writer.add_meta("world.provider_count", std::to_string(w.provider_count));
+  writer.add_meta("world.domain_count", std::to_string(w.domain_count));
+  writer.add_meta("world.size_exponent", meta_double(w.size_exponent));
+  writer.add_meta("world.anycast_recall", meta_double(w.anycast_recall));
+  writer.add_meta("world.open_resolver_misconfigs",
+                  std::to_string(w.open_resolver_misconfigs));
+  writer.add_meta("world.single_ns_share", meta_double(w.single_ns_share));
+  writer.add_meta("world.lame_ns_share", meta_double(w.lame_ns_share));
+  writer.add_meta("world.capacity_base_pps", meta_double(w.capacity_base_pps));
+  writer.add_meta("world.capacity_exponent", meta_double(w.capacity_exponent));
+  writer.add_meta("world.legit_pps_per_domain",
+                  meta_double(w.legit_pps_per_domain));
+  writer.add_meta("world.legit_pps_floor", meta_double(w.legit_pps_floor));
+
+  const LongitudinalParams& wl = config.workload;
+  writer.add_meta("workload.seed", std::to_string(wl.seed));
+  writer.add_meta("workload.scale", meta_double(wl.scale));
+  writer.add_meta("workload.multivector_prob", meta_double(wl.multivector_prob));
+  writer.add_meta("workload.victim_reuse_prob",
+                  meta_double(wl.victim_reuse_prob));
+  writer.add_meta("workload.dns_port_intensity_boost",
+                  meta_double(wl.dns_port_intensity_boost));
+  writer.add_meta("workload.scripted_cases", wl.scripted_cases ? "1" : "0");
+
+  const telescope::InferenceParams& inf = config.inference;
+  writer.add_meta("inference.min_packets_per_window",
+                  std::to_string(inf.min_packets_per_window));
+  writer.add_meta("inference.min_distinct_slash16",
+                  std::to_string(inf.min_distinct_slash16));
+  writer.add_meta("inference.min_ppm", meta_double(inf.min_ppm));
+  writer.add_meta("inference.max_gap_windows",
+                  std::to_string(inf.max_gap_windows));
+
+  const core::JoinParams& jp = config.join;
+  writer.add_meta("join.min_measured_domains",
+                  std::to_string(jp.min_measured_domains));
+  writer.add_meta("join.match_slash24", jp.match_slash24 ? "1" : "0");
+  writer.add_meta("join.merge_concurrent", jp.merge_concurrent ? "1" : "0");
+
+  writer.add_meta("run.sweep_seed", std::to_string(config.sweep_seed));
+  writer.add_meta("run.feed_seed", std::to_string(config.feed_seed));
+  writer.add_meta("run.threads", std::to_string(threads));
+
+  writer.add_meta("result.attacks",
+                  std::to_string(result.workload.schedule.size()));
+  writer.add_meta("result.feed_records",
+                  std::to_string(result.feed.records().size()));
+  writer.add_meta("result.events", std::to_string(result.events.size()));
+  writer.add_meta("result.joined", std::to_string(result.joined.size()));
+  writer.add_meta("result.swept_measurements",
+                  std::to_string(result.swept_measurements));
+
+  const core::JoinStats& js = result.join_stats;
+  writer.add_meta("stats.total_events", std::to_string(js.total_events));
+  writer.add_meta("stats.open_resolver_filtered",
+                  std::to_string(js.open_resolver_filtered));
+  writer.add_meta("stats.non_dns", std::to_string(js.non_dns));
+  writer.add_meta("stats.not_seen_day_before",
+                  std::to_string(js.not_seen_day_before));
+  writer.add_meta("stats.below_measurement_floor",
+                  std::to_string(js.below_measurement_floor));
+  writer.add_meta("stats.no_baseline", std::to_string(js.no_baseline));
+  writer.add_meta("stats.joined", std::to_string(js.joined));
+  writer.add_meta("stats.dns_events", std::to_string(js.dns_events));
+
+  store::write_feed_records(writer, result.feed.records());
+  store::write_measurements(writer, result.store);
+  store::write_joined_events(writer, result.joined);
+
+  writer.finish();
+  const std::uint64_t bytes = writer.bytes_written();
+  span.set_items(writer.column_count());
+  if (observer) {
+    observer->pipeline.store_bytes_written.set(static_cast<double>(bytes));
+  }
+  return bytes;
+}
+
+StoredRun load_run(const std::string& path) {
+  obs::Observer* observer = obs::Observer::installed();
+  obs::ScopedSpan span(observer ? &observer->tracer() : nullptr, "store.read");
+
+  const store::Reader reader(path);
+
+  StoredRun run;
+  LongitudinalConfig& cfg = run.config;
+  cfg.workload.model = cfg.model;
+
+  WorldParams& w = cfg.world;
+  w.seed = meta_u64(reader, "world.seed");
+  w.provider_count =
+      static_cast<std::uint32_t>(meta_u64(reader, "world.provider_count"));
+  w.domain_count =
+      static_cast<std::uint32_t>(meta_u64(reader, "world.domain_count"));
+  w.size_exponent = meta_f64(reader, "world.size_exponent");
+  w.anycast_recall = meta_f64(reader, "world.anycast_recall");
+  w.open_resolver_misconfigs = static_cast<std::uint32_t>(
+      meta_u64(reader, "world.open_resolver_misconfigs"));
+  w.single_ns_share = meta_f64(reader, "world.single_ns_share");
+  w.lame_ns_share = meta_f64(reader, "world.lame_ns_share");
+  w.capacity_base_pps = meta_f64(reader, "world.capacity_base_pps");
+  w.capacity_exponent = meta_f64(reader, "world.capacity_exponent");
+  w.legit_pps_per_domain = meta_f64(reader, "world.legit_pps_per_domain");
+  w.legit_pps_floor = meta_f64(reader, "world.legit_pps_floor");
+
+  LongitudinalParams& wl = cfg.workload;
+  wl.seed = meta_u64(reader, "workload.seed");
+  wl.scale = meta_f64(reader, "workload.scale");
+  wl.multivector_prob = meta_f64(reader, "workload.multivector_prob");
+  wl.victim_reuse_prob = meta_f64(reader, "workload.victim_reuse_prob");
+  wl.dns_port_intensity_boost =
+      meta_f64(reader, "workload.dns_port_intensity_boost");
+  wl.scripted_cases = meta_u64(reader, "workload.scripted_cases") != 0;
+
+  telescope::InferenceParams& inf = cfg.inference;
+  inf.min_packets_per_window = static_cast<std::uint32_t>(
+      meta_u64(reader, "inference.min_packets_per_window"));
+  inf.min_distinct_slash16 = static_cast<std::uint32_t>(
+      meta_u64(reader, "inference.min_distinct_slash16"));
+  inf.min_ppm = meta_f64(reader, "inference.min_ppm");
+  inf.max_gap_windows =
+      static_cast<std::uint32_t>(meta_u64(reader, "inference.max_gap_windows"));
+
+  core::JoinParams& jp = cfg.join;
+  jp.min_measured_domains = static_cast<std::uint32_t>(
+      meta_u64(reader, "join.min_measured_domains"));
+  jp.match_slash24 = meta_u64(reader, "join.match_slash24") != 0;
+  jp.merge_concurrent = meta_u64(reader, "join.merge_concurrent") != 0;
+
+  cfg.sweep_seed = meta_u64(reader, "run.sweep_seed");
+  cfg.feed_seed = meta_u64(reader, "run.feed_seed");
+  run.threads = static_cast<unsigned>(meta_u64(reader, "run.threads"));
+
+  run.attacks = meta_u64(reader, "result.attacks");
+  run.swept_measurements = meta_u64(reader, "result.swept_measurements");
+
+  core::JoinStats& js = run.join_stats;
+  js.total_events = meta_u64(reader, "stats.total_events");
+  js.open_resolver_filtered = meta_u64(reader, "stats.open_resolver_filtered");
+  js.non_dns = meta_u64(reader, "stats.non_dns");
+  js.not_seen_day_before = meta_u64(reader, "stats.not_seen_day_before");
+  js.below_measurement_floor =
+      meta_u64(reader, "stats.below_measurement_floor");
+  js.no_baseline = meta_u64(reader, "stats.no_baseline");
+  js.joined = meta_u64(reader, "stats.joined");
+  js.dns_events = meta_u64(reader, "stats.dns_events");
+
+  // Every block checksum is verified up front so corruption fails loudly
+  // before any analysis consumes decoded data.
+  reader.validate_all();
+
+  run.feed = telescope::RSDoSFeed(cfg.inference, cfg.backscatter);
+  run.feed.set_records(store::read_feed_records(reader));
+  check_count(reader, "feed record", meta_u64(reader, "result.feed_records"),
+              run.feed.records().size());
+
+  // Stitched events are not stored: they are a deterministic function of
+  // the records + inference params, so re-deriving them is both cheaper
+  // and a consistency check against the stored count.
+  run.events = run.feed.events();
+  check_count(reader, "stitched event", meta_u64(reader, "result.events"),
+              run.events.size());
+
+  store::read_measurements(reader, run.store);
+  run.store.set_total_measurements(run.swept_measurements);
+
+  run.joined = store::read_joined_events(reader);
+  check_count(reader, "joined event", meta_u64(reader, "result.joined"),
+              run.joined.size());
+
+  span.set_items(reader.columns().size());
+  if (observer) {
+    observer->pipeline.store_bytes_read.set(
+        static_cast<double>(reader.file_size()));
+  }
+  return run;
+}
+
+RejoinResult rejoin_from_store(const StoredRun& run) {
+  obs::Observer* observer = obs::Observer::installed();
+  obs::ScopedSpan span(observer ? &observer->tracer() : nullptr,
+                       "store.rejoin");
+
+  // The world is a pure function of its params, so the provenance meta is
+  // enough to rebuild the registry/census/routes the join stage consults.
+  const std::unique_ptr<World> world = build_world(run.config.world);
+  const core::ResilienceClassifier classifier(world->registry, world->census,
+                                              world->routes, world->orgs);
+  core::JoinPipeline pipeline(world->registry, run.store, classifier,
+                              run.config.join);
+  RejoinResult result;
+  result.joined = pipeline.run(run.events);
+  result.stats = pipeline.stats();
+  span.set_items(result.joined.size());
   return result;
 }
 

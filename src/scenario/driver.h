@@ -60,4 +60,54 @@ struct LongitudinalResult {
 
 LongitudinalResult run_longitudinal(const LongitudinalConfig& config);
 
+// ---- generate/analyze stage split (DRS dataset store, src/store/).
+//
+// `save_run` persists a finished run's three datasets — RSDoS feed
+// windows, OpenINTEL sweep aggregates, joined NSSet-attack events — plus
+// the full generating provenance (world/workload/inference/join params,
+// seeds, thread count, result counts) as one DRS container.
+// `load_run` reads it back (every block CRC-validated, decodes fanned out
+// across the exec pool) so analyses re-run without re-simulating, and
+// `rejoin_from_store` re-executes the join stage from the stored
+// aggregates to assert the store reproduces the generating run
+// bit-for-bit.
+
+struct StoredRun {
+  /// Provenance-restored config: world, workload seed/scale knobs,
+  /// inference, join and sweep/feed seeds. Model/resolver params stay at
+  /// defaults (the CLI cannot change them); rejoin_from_store's equality
+  /// assertion would catch any divergence loudly.
+  LongitudinalConfig config;
+  unsigned threads = 0;            // generating run's worker count
+  std::uint64_t attacks = 0;       // generating workload size
+  std::uint64_t swept_measurements = 0;
+  core::JoinStats join_stats;
+  telescope::RSDoSFeed feed{telescope::InferenceParams{},
+                            attack::BackscatterModelParams{}};
+  std::vector<telescope::RSDoSEvent> events;  // re-stitched from the feed
+  openintel::MeasurementStore store;
+  std::vector<core::NssetAttackEvent> joined;
+};
+
+/// Write `result` (+ provenance) as a DRS store. Returns bytes written;
+/// throws store::StoreError when the file cannot be written.
+std::uint64_t save_run(const std::string& path,
+                       const LongitudinalConfig& config, unsigned threads,
+                       const LongitudinalResult& result);
+
+/// Load a save_run store. Validates every block checksum and asserts the
+/// decoded datasets match the stored result counts; throws
+/// store::StoreError on any defect.
+StoredRun load_run(const std::string& path);
+
+/// Re-run the join stage from a loaded store: the world is rebuilt from
+/// the stored provenance (deterministic in the seed) and the join reads
+/// the stored aggregates — no sweep. The result must equal `run.joined`
+/// bit-for-bit; callers assert that.
+struct RejoinResult {
+  std::vector<core::NssetAttackEvent> joined;
+  core::JoinStats stats;
+};
+RejoinResult rejoin_from_store(const StoredRun& run);
+
 }  // namespace ddos::scenario

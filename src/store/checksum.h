@@ -1,0 +1,21 @@
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the per-block
+// checksum of the DRS container. Software slice-by-one implementation with
+// a lazily built 256-entry table; fast enough for the store's block sizes
+// and fully portable (no SSE4.2 requirement).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ddos::store {
+
+/// CRC32C of `n` bytes, continuing from `seed` (pass a previous return
+/// value to checksum data in chunks). Seed 0 starts a fresh checksum.
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+inline std::uint32_t crc32c(std::string_view bytes, std::uint32_t seed = 0) {
+  return crc32c(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace ddos::store

@@ -1,0 +1,203 @@
+#include "store/reader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "exec/parallel.h"
+#include "store/checksum.h"
+
+namespace ddos::store {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw StoreError(path + ": " + what);
+}
+
+}  // namespace
+
+Reader::Reader(const std::string& path) : path_(path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  data_ = std::move(buf).str();
+
+  if (data_.size() < kHeaderSize + kTrailerSize)
+    fail(path, "truncated: smaller than header + trailer");
+
+  std::size_t pos = 0;
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t reserved = 0;
+  get_fixed32(data_, pos, magic);
+  get_fixed32(data_, pos, version);
+  get_fixed64(data_, pos, reserved);
+  if (magic != kMagic) fail(path, "bad magic: not a DRS store");
+  if (version != kFormatVersion)
+    fail(path, "unsupported DRS version " + std::to_string(version) +
+                   " (expected " + std::to_string(kFormatVersion) + ")");
+
+  std::size_t tpos = data_.size() - kTrailerSize;
+  std::uint64_t footer_size = 0;
+  std::uint32_t footer_crc = 0, trailer_magic = 0;
+  get_fixed64(data_, tpos, footer_size);
+  get_fixed32(data_, tpos, footer_crc);
+  get_fixed32(data_, tpos, trailer_magic);
+  if (trailer_magic != kMagic)
+    fail(path, "bad trailer magic: truncated or corrupt file");
+  if (footer_size > data_.size() - kHeaderSize - kTrailerSize)
+    fail(path, "footer size exceeds file");
+
+  const std::size_t footer_begin =
+      data_.size() - kTrailerSize - footer_size;
+  const std::string_view footer =
+      std::string_view(data_).substr(footer_begin, footer_size);
+  if (crc32c(footer) != footer_crc) fail(path, "footer checksum mismatch");
+
+  std::size_t fpos = 0;
+  std::uint64_t meta_count = 0;
+  if (!get_varint(footer, fpos, meta_count)) fail(path, "malformed footer");
+  for (std::uint64_t i = 0; i < meta_count; ++i) {
+    std::string key, value;
+    if (!get_string(footer, fpos, key) || !get_string(footer, fpos, value))
+      fail(path, "malformed footer metadata");
+    meta_.emplace_back(std::move(key), std::move(value));
+  }
+
+  std::uint64_t column_count = 0;
+  if (!get_varint(footer, fpos, column_count)) fail(path, "malformed footer");
+  for (std::uint64_t i = 0; i < column_count; ++i) {
+    ColumnDesc c;
+    if (!get_string(footer, fpos, c.dataset) ||
+        !get_string(footer, fpos, c.column) || fpos + 2 > footer.size())
+      fail(path, "malformed footer column index");
+    c.type = static_cast<ColumnType>(footer[fpos++]);
+    c.encoding = static_cast<Encoding>(footer[fpos++]);
+    if (!get_varint(footer, fpos, c.rows) ||
+        !get_varint(footer, fpos, c.offset) ||
+        !get_varint(footer, fpos, c.size))
+      fail(path, "malformed footer column index");
+    if (!get_fixed32(footer, fpos, c.crc))
+      fail(path, "malformed footer column index");
+    if (c.offset < kHeaderSize || c.offset + c.size > footer_begin)
+      fail(path, "column '" + c.dataset + "." + c.column +
+                     "' extends outside the block region");
+    columns_.push_back(std::move(c));
+  }
+  if (fpos != footer.size()) fail(path, "trailing bytes in footer");
+}
+
+bool Reader::has_meta(std::string_view key) const {
+  for (const auto& [k, v] : meta_)
+    if (k == key) return true;
+  return false;
+}
+
+std::string Reader::meta_value(std::string_view key) const {
+  for (const auto& [k, v] : meta_)
+    if (k == key) return v;
+  fail(path_, "missing metadata key '" + std::string(key) + "'");
+}
+
+std::string Reader::meta_or(std::string_view key,
+                            std::string_view fallback) const {
+  for (const auto& [k, v] : meta_)
+    if (k == key) return v;
+  return std::string(fallback);
+}
+
+bool Reader::has_column(std::string_view dataset,
+                        std::string_view column) const {
+  for (const auto& c : columns_)
+    if (c.dataset == dataset && c.column == column) return true;
+  return false;
+}
+
+const ColumnDesc& Reader::column(std::string_view dataset,
+                                 std::string_view column) const {
+  for (const auto& c : columns_)
+    if (c.dataset == dataset && c.column == column) return c;
+  fail(path_, "missing column '" + std::string(dataset) + "." +
+                  std::string(column) + "'");
+}
+
+std::uint64_t Reader::dataset_rows(std::string_view dataset) const {
+  std::uint64_t rows = 0;
+  bool found = false;
+  for (const auto& c : columns_) {
+    if (c.dataset != dataset) continue;
+    if (found && c.rows != rows)
+      fail(path_, "dataset '" + std::string(dataset) +
+                      "' has columns with differing row counts");
+    rows = c.rows;
+    found = true;
+  }
+  if (!found) fail(path_, "missing dataset '" + std::string(dataset) + "'");
+  return rows;
+}
+
+std::string_view Reader::payload(const ColumnDesc& desc) const {
+  return std::string_view(data_).substr(desc.offset, desc.size);
+}
+
+void Reader::check_crc(const ColumnDesc& desc) const {
+  if (crc32c(payload(desc)) != desc.crc)
+    fail(path_, "checksum mismatch in block '" + desc.dataset + "." +
+                    desc.column + "' (corrupt store)");
+}
+
+std::vector<std::uint64_t> Reader::read_u64(std::string_view dataset,
+                                            std::string_view col) const {
+  const ColumnDesc& c = column(dataset, col);
+  if (c.type != ColumnType::U64)
+    fail(path_, "column '" + c.dataset + "." + c.column + "' is not u64");
+  check_crc(c);
+  return decode_u64_column(payload(c), c.encoding, c.rows);
+}
+
+std::vector<double> Reader::read_f64(std::string_view dataset,
+                                     std::string_view col) const {
+  const ColumnDesc& c = column(dataset, col);
+  if (c.type != ColumnType::F64)
+    fail(path_, "column '" + c.dataset + "." + c.column + "' is not f64");
+  check_crc(c);
+  return decode_f64_column(payload(c), c.rows);
+}
+
+std::vector<std::uint8_t> Reader::read_u8(std::string_view dataset,
+                                          std::string_view col) const {
+  const ColumnDesc& c = column(dataset, col);
+  if (c.type != ColumnType::U8)
+    fail(path_, "column '" + c.dataset + "." + c.column + "' is not u8");
+  check_crc(c);
+  return decode_u8_column(payload(c), c.rows);
+}
+
+std::vector<std::string> Reader::read_strings(std::string_view dataset,
+                                              std::string_view col) const {
+  const ColumnDesc& c = column(dataset, col);
+  if (c.type != ColumnType::Str)
+    fail(path_, "column '" + c.dataset + "." + c.column + "' is not str");
+  check_crc(c);
+  return decode_string_column(payload(c), c.rows);
+}
+
+void Reader::parallel_decode(const std::vector<std::function<void()>>& jobs) {
+  exec::RegionOptions opts;
+  opts.label = "store.read";
+  exec::parallel_for(jobs.size(), opts, [&](const exec::ShardRange& range) {
+    for (std::size_t i = range.begin; i < range.end; ++i) jobs[i]();
+  });
+}
+
+void Reader::validate_all() const {
+  exec::RegionOptions opts;
+  opts.label = "store.validate";
+  exec::parallel_for(columns_.size(), opts,
+                     [&](const exec::ShardRange& range) {
+                       for (std::size_t i = range.begin; i < range.end; ++i)
+                         check_crc(columns_[i]);
+                     });
+}
+
+}  // namespace ddos::store

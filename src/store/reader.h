@@ -1,0 +1,78 @@
+// DRS reader — loads a store file, parses the footer index, and decodes
+// column blocks on demand. Every access validates the block's CRC32C
+// before decoding; validate_all() checks every block, fanning the
+// checksum work out across the exec worker pool. All failure modes
+// (bad magic, unsupported version, truncation, checksum mismatch,
+// missing columns) throw StoreError with a message naming the problem.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "store/format.h"
+
+namespace ddos::store {
+
+class Reader {
+ public:
+  /// Reads and verifies `path` (header magic/version, trailer, footer
+  /// checksum, block-extent sanity). Throws StoreError on any defect.
+  explicit Reader(const std::string& path);
+
+  const std::vector<ColumnDesc>& columns() const { return columns_; }
+  const std::vector<std::pair<std::string, std::string>>& meta() const {
+    return meta_;
+  }
+
+  bool has_meta(std::string_view key) const;
+  /// Metadata value; throws StoreError when the key is absent.
+  std::string meta_value(std::string_view key) const;
+  /// Metadata value or `fallback` when absent.
+  std::string meta_or(std::string_view key, std::string_view fallback) const;
+
+  bool has_column(std::string_view dataset, std::string_view column) const;
+  /// Footer entry for (dataset, column); throws when absent.
+  const ColumnDesc& column(std::string_view dataset,
+                           std::string_view column) const;
+  /// Row count shared by a dataset's columns; throws when the dataset is
+  /// absent or its columns disagree.
+  std::uint64_t dataset_rows(std::string_view dataset) const;
+
+  /// Decode one column (CRC-checked). Type must match the footer entry.
+  std::vector<std::uint64_t> read_u64(std::string_view dataset,
+                                      std::string_view column) const;
+  std::vector<double> read_f64(std::string_view dataset,
+                               std::string_view column) const;
+  std::vector<std::uint8_t> read_u8(std::string_view dataset,
+                                    std::string_view column) const;
+  std::vector<std::string> read_strings(std::string_view dataset,
+                                        std::string_view column) const;
+
+  /// Run `jobs` (independent column decodes) across the exec pool; each
+  /// job must write only its own output slot. Dataset readers use this to
+  /// fan block decoding out.
+  static void parallel_decode(const std::vector<std::function<void()>>& jobs);
+
+  /// Validate every block's CRC32C in parallel; throws on the first
+  /// mismatch naming the offending dataset/column.
+  void validate_all() const;
+
+  std::uint64_t file_size() const { return data_.size(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string_view payload(const ColumnDesc& desc) const;
+  /// CRC-check `desc`'s payload; throws StoreError on mismatch.
+  void check_crc(const ColumnDesc& desc) const;
+
+  std::string path_;
+  std::string data_;
+  std::vector<ColumnDesc> columns_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+};
+
+}  // namespace ddos::store

@@ -1,0 +1,104 @@
+#include "store/writer.h"
+
+#include "store/checksum.h"
+
+namespace ddos::store {
+
+Writer::Writer(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  std::string header;
+  put_fixed32(header, kMagic);
+  put_fixed32(header, kFormatVersion);
+  put_fixed64(header, 0);  // reserved
+  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+  offset_ = header.size();
+}
+
+void Writer::add_meta(std::string_view key, std::string_view value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  meta_.emplace_back(key, value);
+}
+
+void Writer::append_block(std::string_view dataset, std::string_view column,
+                          ColumnType type, Encoding encoding,
+                          std::uint64_t rows, const std::string& payload) {
+  if (finished_) throw StoreError("Writer: add after finish()");
+  ColumnDesc desc;
+  desc.dataset = dataset;
+  desc.column = column;
+  desc.type = type;
+  desc.encoding = encoding;
+  desc.rows = rows;
+  desc.offset = offset_;
+  desc.size = payload.size();
+  desc.crc = crc32c(payload);
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  offset_ += payload.size();
+  columns_.push_back(std::move(desc));
+}
+
+void Writer::add_u64(std::string_view dataset, std::string_view column,
+                     std::span<const std::uint64_t> values,
+                     Encoding encoding) {
+  append_block(dataset, column, ColumnType::U64, encoding, values.size(),
+               encode_u64_column(values, encoding));
+}
+
+void Writer::add_f64(std::string_view dataset, std::string_view column,
+                     std::span<const double> values) {
+  append_block(dataset, column, ColumnType::F64, Encoding::Fixed,
+               values.size(), encode_f64_column(values));
+}
+
+void Writer::add_u8(std::string_view dataset, std::string_view column,
+                    std::span<const std::uint8_t> values) {
+  append_block(dataset, column, ColumnType::U8, Encoding::Fixed,
+               values.size(), encode_u8_column(values));
+}
+
+void Writer::add_strings(std::string_view dataset, std::string_view column,
+                         std::span<const std::string> values) {
+  append_block(dataset, column, ColumnType::Str, Encoding::StringBlock,
+               values.size(), encode_string_column(values));
+}
+
+bool Writer::finish() {
+  if (finished_) return ok();
+  finished_ = true;
+
+  std::string footer;
+  put_varint(footer, meta_.size());
+  for (const auto& [key, value] : meta_) {
+    put_string(footer, key);
+    put_string(footer, value);
+  }
+  put_varint(footer, columns_.size());
+  for (const ColumnDesc& c : columns_) {
+    put_string(footer, c.dataset);
+    put_string(footer, c.column);
+    footer.push_back(static_cast<char>(c.type));
+    footer.push_back(static_cast<char>(c.encoding));
+    put_varint(footer, c.rows);
+    put_varint(footer, c.offset);
+    put_varint(footer, c.size);
+    put_fixed32(footer, c.crc);
+  }
+
+  std::string trailer;
+  put_fixed64(trailer, footer.size());
+  put_fixed32(trailer, crc32c(footer));
+  put_fixed32(trailer, kMagic);
+
+  out_.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  out_.write(trailer.data(), static_cast<std::streamsize>(trailer.size()));
+  offset_ += footer.size() + trailer.size();
+  out_.flush();
+  return ok();
+}
+
+}  // namespace ddos::store

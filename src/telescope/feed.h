@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <ostream>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "attack/schedule.h"
@@ -34,6 +35,11 @@ class RSDoSFeed {
 
   /// Append a pre-built record (tests / replays).
   void add_record(const RSDoSRecord& record) { records_.push_back(record); }
+
+  /// Replace all records wholesale (DRS store load / replays).
+  void set_records(std::vector<RSDoSRecord> records) {
+    records_ = std::move(records);
+  }
 
   const std::vector<RSDoSRecord>& records() const { return records_; }
 

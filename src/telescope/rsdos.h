@@ -38,6 +38,9 @@ struct RSDoSRecord {
   static std::string csv_header();
   /// Parse one to_csv_row() line back; nullopt on malformed input.
   static std::optional<RSDoSRecord> from_csv_row(std::string_view line);
+
+  /// Field-exact equality (store round-trip assertions).
+  friend bool operator==(const RSDoSRecord&, const RSDoSRecord&) = default;
 };
 
 /// Classification thresholds, after Moore et al.: a victim must hit enough
@@ -79,6 +82,9 @@ struct RSDoSEvent {
   netsim::SimTime end_time() const {
     return netsim::window_start(end_window + 1);
   }
+
+  /// Field-exact equality (store round-trip assertions).
+  friend bool operator==(const RSDoSEvent&, const RSDoSEvent&) = default;
 };
 
 /// Stitch per-window records (any order) into events per victim.

@@ -64,8 +64,33 @@ class Ecdf {
 /// is large (one entry per OpenINTEL query).
 class RunningStats {
  public:
+  /// The accumulator's complete internal state, exposed so persistence
+  /// layers (the DRS dataset store) can round-trip it bit-for-bit —
+  /// recomputing Welford state from samples would not reproduce the
+  /// original accumulation order.
+  struct Raw {
+    std::size_t n = 0;
+    double sum = 0.0;
+    double m = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
   void add(double x);
   void merge(const RunningStats& other);
+
+  Raw raw() const { return {n_, sum_, m_, m2_, min_, max_}; }
+  static RunningStats from_raw(const Raw& r) {
+    RunningStats s;
+    s.n_ = r.n;
+    s.sum_ = r.sum;
+    s.m_ = r.m;
+    s.m2_ = r.m2;
+    s.min_ = r.min;
+    s.max_ = r.max;
+    return s;
+  }
 
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }

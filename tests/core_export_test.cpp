@@ -78,6 +78,28 @@ TEST(EventsCsv, SkipsMalformedRows) {
   EXPECT_TRUE(read_events_csv(in).empty());
 }
 
+TEST(EventsCsv, ReportCountsReadAndSkippedRows) {
+  std::ostringstream out;
+  write_events_csv(out, {sample_event(), sample_event()});
+  // Append one malformed row and a blank line; only the former is a skip.
+  std::istringstream in(out.str() + "not,a,row\n\n");
+  EventsCsvReport report;
+  const auto events = read_events_csv(in, &report);
+  EXPECT_EQ(events.size(), 2u);
+  EXPECT_EQ(report.rows_read, 2u);
+  EXPECT_EQ(report.rows_skipped, 1u);
+}
+
+TEST(EventsCsv, ReportIsCleanOnWellFormedInput) {
+  std::ostringstream out;
+  write_events_csv(out, {sample_event()});
+  std::istringstream in(out.str());
+  EventsCsvReport report;
+  read_events_csv(in, &report);
+  EXPECT_EQ(report.rows_read, 1u);
+  EXPECT_EQ(report.rows_skipped, 0u);
+}
+
 TEST(EventsCsv, PipelineEventsRoundTripAggregates) {
   scenario::LongitudinalConfig cfg = scenario::small_longitudinal_config(33);
   cfg.workload.scale = 300.0;

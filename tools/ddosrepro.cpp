@@ -1,23 +1,31 @@
 // ddosrepro — command-line driver for the reproduction pipeline.
 //
-//   ddosrepro world   [--seed N --domains N --providers N]
-//                     [--zone <tld> --out <file>] [--audit]
-//   ddosrepro run     [--seed N --scale X --domains N --providers N]
-//                     [--events-csv <file>] [--feed-csv <file>]
-//                     [--metrics-out <file>] [--trace-out <file>] [--progress]
-//   ddosrepro analyze --events-csv <file>
-//   ddosrepro transip [--scale X]
+//   ddosrepro world    [--seed N --domains N --providers N]
+//                      [--zone <tld> --out <file>] [--audit]
+//   ddosrepro run      [--seed N --scale X --domains N --providers N]
+//                      [--threads N] [--store <file.drs>]
+//                      [--events-csv <file>] [--feed-csv <file>]
+//                      [--metrics-out <file>] [--trace-out <file>] [--progress]
+//   ddosrepro generate --store <file.drs> [run flags]
+//   ddosrepro analyze  --store <file.drs> [--rejoin] [--threads N]
+//   ddosrepro analyze  --events-csv <file>
+//   ddosrepro transip  [--scale X]
 //   ddosrepro russia
 //
 // `run` executes the seventeen-month pipeline and prints the headline
-// shapes; `analyze` re-loads an exported events CSV and recomputes the
-// figure-level statistics, so analyses can be replayed without re-running
-// the simulation.
+// shapes. `generate` is `run` that persists the three pipeline datasets
+// (RSDoS feed windows, sweep aggregates, joined NSSet-attack events) plus
+// full provenance to a DRS dataset store; `analyze --store` reads one back
+// — every block checksum-validated — and recomputes the same headline
+// statistics without re-simulating (--rejoin additionally re-runs the join
+// stage from the stored aggregates and asserts a bit-for-bit match).
+// `analyze --events-csv` replays the lossy CSV export instead.
 //
 // Observability (run): --metrics-out writes a run-report JSON (config,
 // stage timings, metric snapshot, headline results), --trace-out writes a
 // Chrome trace_event file (open in chrome://tracing or Perfetto), and
 // --progress emits a one-line heartbeat per simulated sweep day on stderr.
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -33,6 +41,7 @@
 #include "scenario/driver.h"
 #include "scenario/russia.h"
 #include "scenario/transip.h"
+#include "store/format.h"
 #include "util/flags.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -126,6 +135,18 @@ void print_analysis(const std::vector<core::NssetAttackEvent>& events) {
   }
 }
 
+// The one-line pipeline summary printed by both `run` and
+// `analyze --store`; CI diffs everything from this line on between the
+// two paths, so the text must match byte for byte.
+void print_pipeline_line(std::uint64_t attacks, std::uint64_t feed_records,
+                         std::uint64_t events, std::uint64_t joined,
+                         std::uint64_t swept) {
+  std::cout << "pipeline: " << attacks << " attacks -> " << feed_records
+            << " feed records -> " << events << " events -> " << joined
+            << " joined NSSet-attack events (" << util::with_commas(swept)
+            << " measurements swept)\n\n";
+}
+
 void print_progress(const obs::ProgressEvent& e) {
   if (e.stage == "join") {
     std::cerr << "[progress] join: " << e.joined << " NSSet-events from "
@@ -166,13 +187,23 @@ int cmd_run(util::FlagParser& flags) {
   }
 
   const auto r = scenario::run_longitudinal(cfg);
-  std::cout << "pipeline: " << r.workload.schedule.size() << " attacks -> "
-            << r.feed.records().size() << " feed records -> "
-            << r.events.size() << " events -> " << r.joined.size()
-            << " joined NSSet-attack events ("
-            << util::with_commas(r.swept_measurements)
-            << " measurements swept)\n\n";
+  print_pipeline_line(r.workload.schedule.size(), r.feed.records().size(),
+                      r.events.size(), r.joined.size(), r.swept_measurements);
   print_analysis(r.joined);
+
+  const std::string store_path = flags.get_string("store");
+  if (!store_path.empty()) {
+    try {
+      const std::uint64_t bytes =
+          scenario::save_run(store_path, cfg, threads, r);
+      std::cout << "\nwrote dataset store ("
+                << util::format_count(static_cast<double>(bytes)) << "B) to "
+                << store_path << "\n";
+    } catch (const store::StoreError& e) {
+      std::cerr << "store error: " << e.what() << "\n";
+      return 1;
+    }
+  }
 
   const std::string events_path = flags.get_string("events-csv");
   if (!events_path.empty()) {
@@ -225,10 +256,71 @@ int cmd_run(util::FlagParser& flags) {
   return 0;
 }
 
+int cmd_generate(util::FlagParser& flags) {
+  if (flags.get_string("store").empty()) {
+    std::cerr << "generate requires --store <file.drs>\n";
+    return 1;
+  }
+  return cmd_run(flags);
+}
+
+int cmd_analyze_store(util::FlagParser& flags, const std::string& path) {
+  exec::set_global_threads(static_cast<unsigned>(flags.get_uint("threads")));
+  scenario::StoredRun run;
+  try {
+    run = scenario::load_run(path);
+  } catch (const store::StoreError& e) {
+    std::cerr << "store error: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::error_code ec;
+  const auto bytes = std::filesystem::file_size(path, ec);
+  std::cout << "store: " << path;
+  if (!ec) {
+    std::cout << " (" << util::format_count(static_cast<double>(bytes))
+              << "B)";
+  }
+  std::cout << "\nprovenance: world seed " << run.config.world.seed << ", "
+            << run.config.world.domain_count << " domains, "
+            << run.config.world.provider_count << " providers; workload seed "
+            << run.config.workload.seed << ", scale "
+            << run.config.workload.scale << "; sweep/feed seeds "
+            << run.config.sweep_seed << "/" << run.config.feed_seed
+            << "; generated with " << run.threads << " threads\n";
+
+  if (flags.get_bool("rejoin")) {
+    const auto rejoin = scenario::rejoin_from_store(run);
+    const bool match =
+        rejoin.joined == run.joined && rejoin.stats == run.join_stats;
+    std::cout << "rejoin: " << rejoin.joined.size()
+              << " joined events recomputed from stored aggregates — "
+              << (match ? "bit-for-bit match with stored events"
+                        : "MISMATCH with stored events")
+              << "\n";
+    if (!match) {
+      std::cerr << "rejoin mismatch: store provenance does not reproduce "
+                   "the generating run\n";
+      return 1;
+    }
+  }
+
+  std::cout << "\n";
+  print_pipeline_line(run.attacks, run.feed.records().size(),
+                      run.events.size(), run.joined.size(),
+                      run.swept_measurements);
+  print_analysis(run.joined);
+  return 0;
+}
+
 int cmd_analyze(util::FlagParser& flags) {
+  const std::string store_path = flags.get_string("store");
+  if (!store_path.empty()) return cmd_analyze_store(flags, store_path);
+
   const std::string path = flags.get_string("events-csv");
   if (path.empty()) {
-    std::cerr << "analyze requires --events-csv <file>\n";
+    std::cerr << "analyze requires --store <file.drs> or --events-csv "
+                 "<file>\n";
     return 1;
   }
   std::ifstream in(path);
@@ -236,7 +328,13 @@ int cmd_analyze(util::FlagParser& flags) {
     std::cerr << "cannot open " << path << "\n";
     return 1;
   }
-  const auto events = core::read_events_csv(in);
+  core::EventsCsvReport report;
+  const auto events = core::read_events_csv(in, &report);
+  if (report.rows_skipped > 0) {
+    std::cerr << "warning: skipped " << report.rows_skipped
+              << " malformed row" << (report.rows_skipped == 1 ? "" : "s")
+              << " in " << path << " (" << report.rows_read << " parsed)\n";
+  }
   std::cout << "loaded " << events.size() << " events from " << path
             << "\n\n";
   print_analysis(events);
@@ -283,7 +381,9 @@ int cmd_russia(util::FlagParser&) {
 int main(int argc, char** argv) {
   util::FlagParser flags(
       "ddosrepro — pipeline driver for the IMC'22 DNS-DDoS reproduction\n"
-      "usage: ddosrepro <world|run|analyze|transip|russia> [flags]");
+      "usage: ddosrepro <world|run|generate|analyze|transip|russia> [flags]\n"
+      "  generate = run + persist the datasets to a DRS store (--store)\n"
+      "  analyze  = recompute statistics from --store or --events-csv");
   flags.add_int("seed", 42, "world/workload seed");
   flags.add_int("domains", 120000, "registered domains in the world");
   flags.add_int("providers", 1200, "hosting providers in the world");
@@ -291,12 +391,18 @@ int main(int argc, char** argv) {
   const unsigned hw = std::thread::hardware_concurrency();
   flags.add_uint("threads", hw > 0 ? hw : 1,
                  "worker threads for the pipeline; results are identical "
-                 "for any value (run)",
+                 "for any value (run/generate/analyze)",
                  1, 4096);
   flags.add_string("zone", "", "TLD to export as a parent-zone file");
   flags.add_string("out", "", "output path for --zone");
   flags.add_string("events-csv", "", "events CSV path (run: write; analyze: read)");
   flags.add_string("feed-csv", "", "RSDoS feed CSV output path (run)");
+  flags.add_string("store", "",
+                   "DRS dataset store path (generate/run: write; analyze: "
+                   "read)");
+  flags.add_bool("rejoin",
+                 "re-run the join from the stored aggregates and assert a "
+                 "bit-for-bit match (analyze --store)");
   flags.add_bool("audit", "run the structural delegation audit (world)");
   flags.add_string("metrics-out", "",
                    "run-report JSON output path: config, stage timings, "
@@ -319,6 +425,7 @@ int main(int argc, char** argv) {
   const std::string& command = flags.positional().front();
   if (command == "world") return cmd_world(flags);
   if (command == "run") return cmd_run(flags);
+  if (command == "generate") return cmd_generate(flags);
   if (command == "analyze") return cmd_analyze(flags);
   if (command == "transip") return cmd_transip(flags);
   if (command == "russia") return cmd_russia(flags);
