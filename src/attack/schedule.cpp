@@ -23,34 +23,34 @@ const AttackSpec* AttackSchedule::find(std::uint64_t id) const {
 
 double AttackSchedule::attack_pps_at(netsim::IPv4Addr ip,
                                      netsim::WindowIndex window) const {
-  const auto it = by_ip_.find(ip);
-  if (it == by_ip_.end()) return 0.0;
+  const std::vector<std::size_t>* idxs = by_ip_.find(ip);
+  if (!idxs) return 0.0;
   double pps = 0.0;
-  for (const std::size_t idx : it->second)
+  for (const std::size_t idx : *idxs)
     pps += attacks_[idx].victim_pps_in_window(window);
   return pps;
 }
 
 double AttackSchedule::slash24_pps_at(netsim::IPv4Addr ip,
                                       netsim::WindowIndex window) const {
-  const auto it = by_slash24_.find(ip.slash24());
-  if (it == by_slash24_.end()) return 0.0;
+  const std::vector<std::size_t>* idxs = by_slash24_.find(ip.slash24());
+  if (!idxs) return 0.0;
   double pps = 0.0;
-  for (const std::size_t idx : it->second)
+  for (const std::size_t idx : *idxs)
     pps += attacks_[idx].victim_pps_in_window(window);
   return pps;
 }
 
 void AttackSchedule::set_link_capacity(netsim::IPv4Addr any_ip_in_24,
                                        double pps) {
-  link_capacity_[any_ip_in_24.slash24()] = pps;
+  link_capacity_.insert_or_assign(any_ip_in_24.slash24(), pps);
 }
 
 double AttackSchedule::link_utilisation_at(netsim::IPv4Addr ip,
                                            netsim::WindowIndex window) const {
-  const auto cap = link_capacity_.find(ip.slash24());
-  if (cap == link_capacity_.end() || cap->second <= 0.0) return 0.0;
-  return slash24_pps_at(ip, window) / cap->second;
+  const double* cap = link_capacity_.find(ip.slash24());
+  if (!cap || *cap <= 0.0) return 0.0;
+  return slash24_pps_at(ip, window) / *cap;
 }
 
 bool AttackSchedule::truncate_attack(std::uint64_t id, netsim::SimTime at) {
@@ -66,10 +66,10 @@ bool AttackSchedule::truncate_attack(std::uint64_t id, netsim::SimTime at) {
 std::vector<const AttackSpec*> AttackSchedule::attacks_on(
     netsim::IPv4Addr ip) const {
   std::vector<const AttackSpec*> out;
-  const auto it = by_ip_.find(ip);
-  if (it == by_ip_.end()) return out;
-  out.reserve(it->second.size());
-  for (const std::size_t idx : it->second) out.push_back(&attacks_[idx]);
+  const std::vector<std::size_t>* idxs = by_ip_.find(ip);
+  if (!idxs) return out;
+  out.reserve(idxs->size());
+  for (const std::size_t idx : *idxs) out.push_back(&attacks_[idx]);
   return out;
 }
 

@@ -7,12 +7,12 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "attack/attack.h"
 #include "netsim/ipv4.h"
 #include "netsim/simtime.h"
+#include "util/flat_map.h"
 
 namespace ddos::attack {
 
@@ -55,11 +55,14 @@ class AttackSchedule {
   netsim::SimTime latest_end() const;
 
  private:
+  // Flat open-addressing indexes: the load model probes by_ip_/by_slash24_
+  // once per (server, window) query, the hottest lookups after the store
+  // fold — see util/flat_map.h.
   std::vector<AttackSpec> attacks_;
   std::uint64_t next_id_ = 1;
-  std::unordered_map<netsim::IPv4Addr, std::vector<std::size_t>> by_ip_;
-  std::unordered_map<netsim::IPv4Addr, std::vector<std::size_t>> by_slash24_;
-  std::unordered_map<netsim::IPv4Addr, double> link_capacity_;  // key: /24 net
+  util::FlatMap<netsim::IPv4Addr, std::vector<std::size_t>> by_ip_;
+  util::FlatMap<netsim::IPv4Addr, std::vector<std::size_t>> by_slash24_;
+  util::FlatMap<netsim::IPv4Addr, double> link_capacity_;  // key: /24 net
 };
 
 }  // namespace ddos::attack

@@ -19,10 +19,18 @@ JoinPipeline::JoinPipeline(const dns::DnsRegistry& registry,
       params_(params) {}
 
 bool JoinPipeline::build_event(const telescope::RSDoSEvent& ev,
-                               dns::NssetId nsset,
-                               NssetAttackEvent& out) const {
+                               dns::NssetId nsset, NssetAttackEvent& out,
+                               BaselineCache* baselines) const {
   const netsim::DayIndex day_before = ev.start_time().day() - 1;
-  const double baseline = store_.daily_avg_rtt(nsset, day_before);
+  double baseline;
+  if (baselines) {
+    const auto [slot, inserted] = baselines->try_emplace(
+        openintel::MeasurementStore::make_day_key(nsset, day_before));
+    if (inserted) *slot = store_.daily_avg_rtt(nsset, day_before);
+    baseline = *slot;
+  } else {
+    baseline = store_.daily_avg_rtt(nsset, day_before);
+  }
 
   openintel::Aggregate total;
   double peak_impact = 0.0;
@@ -117,6 +125,10 @@ std::vector<NssetAttackEvent> JoinPipeline::run(
       events.size(), opts, 0,
       [&](const exec::ShardRange& range) {
         ShardOut shard;
+        // Most events fail the victim classification, so the range size is
+        // a comfortable upper bound that spares push_back regrowth.
+        shard.joined.reserve(range.size());
+        BaselineCache baselines;
         for (std::size_t i = range.begin; i < range.end; ++i) {
           const auto& ev = events[i];
           if (registry_.is_open_resolver(ev.victim)) {
@@ -140,7 +152,7 @@ std::vector<NssetAttackEvent> JoinPipeline::run(
           for (const dns::NssetId nsset :
                registry_.nssets_containing(ev.victim)) {
             NssetAttackEvent nae;
-            if (build_event(ev, nsset, nae)) {
+            if (build_event(ev, nsset, nae, &baselines)) {
               shard.joined.push_back(std::move(nae));
               ++shard.stats.joined;
             } else {

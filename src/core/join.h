@@ -22,6 +22,7 @@
 #include "dns/registry.h"
 #include "openintel/storage.h"
 #include "telescope/rsdos.h"
+#include "util/flat_map.h"
 
 namespace ddos::core {
 
@@ -102,11 +103,18 @@ class JoinPipeline {
   const JoinStats& stats() const { return stats_; }
   const JoinParams& params() const { return params_; }
 
+  /// Memo of previous-day baseline RTTs, keyed by the store's (nsset, day)
+  /// key. run() keeps one per shard: overlapping telescope events on the
+  /// same NSSet would otherwise re-probe daily_avg_rtt once per event.
+  using BaselineCache = util::FlatMap<std::uint64_t, double>;
+
   /// The NSSet-level impact computation for one (event, nsset) pair;
   /// exposed for the reactive platform and tests. Returns false when the
-  /// pair fails the measurement floor or baseline requirements.
+  /// pair fails the measurement floor or baseline requirements. `baselines`
+  /// (optional) memoises the previous-day RTT probe across calls.
   bool build_event(const telescope::RSDoSEvent& ev, dns::NssetId nsset,
-                   NssetAttackEvent& out) const;
+                   NssetAttackEvent& out,
+                   BaselineCache* baselines = nullptr) const;
 
  private:
   const dns::DnsRegistry& registry_;

@@ -1,31 +1,39 @@
 #include "dns/registry.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ddos::dns {
 
 void DnsRegistry::add_nameserver(Nameserver ns) {
-  nameservers_.insert_or_assign(ns.ip(), std::move(ns));
+  const netsim::IPv4Addr ip = ns.ip();
+  const auto [slot, inserted] = nameserver_index_.try_emplace(
+      ip, static_cast<std::uint32_t>(nameserver_pool_.size()));
+  if (inserted) {
+    nameserver_pool_.push_back(std::move(ns));
+  } else {
+    nameserver_pool_[*slot] = std::move(ns);
+  }
 }
 
 bool DnsRegistry::has_nameserver(netsim::IPv4Addr ip) const {
-  return nameservers_.contains(ip);
+  return nameserver_index_.contains(ip);
 }
 
 const Nameserver& DnsRegistry::nameserver(netsim::IPv4Addr ip) const {
-  const auto it = nameservers_.find(ip);
-  if (it == nameservers_.end())
+  const std::uint32_t* idx = nameserver_index_.find(ip);
+  if (!idx)
     throw std::out_of_range("DnsRegistry: unknown nameserver " +
                             ip.to_string());
-  return it->second;
+  return nameserver_pool_[*idx];
 }
 
 Nameserver& DnsRegistry::mutable_nameserver(netsim::IPv4Addr ip) {
-  const auto it = nameservers_.find(ip);
-  if (it == nameservers_.end())
+  const std::uint32_t* idx = nameserver_index_.find(ip);
+  if (!idx)
     throw std::out_of_range("DnsRegistry: unknown nameserver " +
                             ip.to_string());
-  return it->second;
+  return nameserver_pool_[*idx];
 }
 
 DomainId DnsRegistry::add_domain(DomainName name,
@@ -69,10 +77,9 @@ std::span<const DomainId> DnsRegistry::domains_of_nsset(NssetId id) const {
 
 std::span<const NssetId> DnsRegistry::nssets_containing(
     netsim::IPv4Addr ip) const {
-  static const std::vector<NssetId> kEmpty;
-  const auto it = ip_to_nssets_.find(ip);
-  return it == ip_to_nssets_.end() ? std::span<const NssetId>(kEmpty)
-                                   : std::span<const NssetId>(it->second);
+  const std::vector<NssetId>* nssets = ip_to_nssets_.find(ip);
+  return nssets ? std::span<const NssetId>(*nssets)
+                : std::span<const NssetId>();
 }
 
 std::vector<DomainId> DnsRegistry::domains_of_ns_ip(
@@ -96,7 +103,11 @@ std::uint64_t DnsRegistry::domain_count_of_ns_ip(netsim::IPv4Addr ip) const {
 std::vector<netsim::IPv4Addr> DnsRegistry::all_ns_ips() const {
   std::vector<netsim::IPv4Addr> out;
   out.reserve(ip_to_nssets_.size());
-  for (const auto& [ip, _] : ip_to_nssets_) out.push_back(ip);
+  ip_to_nssets_.for_each(
+      [&out](netsim::IPv4Addr ip, const std::vector<NssetId>&) {
+        out.push_back(ip);
+      });
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -13,13 +13,13 @@
 #include <span>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "dns/name.h"
 #include "dns/records.h"
 #include "dns/server.h"
 #include "netsim/ipv4.h"
+#include "util/flat_map.h"
 
 namespace ddos::dns {
 
@@ -37,7 +37,7 @@ class DnsRegistry {
   bool has_nameserver(netsim::IPv4Addr ip) const;
   const Nameserver& nameserver(netsim::IPv4Addr ip) const;
   Nameserver& mutable_nameserver(netsim::IPv4Addr ip);
-  std::size_t nameserver_count() const { return nameservers_.size(); }
+  std::size_t nameserver_count() const { return nameserver_index_.size(); }
 
   /// Register a domain with its NS IPs; the NSSet is deduplicated and
   /// interned. Returns the new domain's id.
@@ -62,7 +62,9 @@ class DnsRegistry {
   /// Number of domains whose NSSet contains `ip`.
   std::uint64_t domain_count_of_ns_ip(netsim::IPv4Addr ip) const;
 
-  /// All distinct NS IPv4 addresses referenced by any delegation.
+  /// All distinct NS IPv4 addresses referenced by any delegation,
+  /// ascending (the flat index has no stable iteration order, so the
+  /// snapshot is sorted to stay deterministic).
   std::vector<netsim::IPv4Addr> all_ns_ips() const;
   bool is_ns_ip(netsim::IPv4Addr ip) const;
 
@@ -87,12 +89,19 @@ class DnsRegistry {
     std::vector<DomainId> domains;
   };
 
+  // The per-IP lookups (is_ns_ip, nssets_containing, nameserver) run once
+  // per simulated query/join probe, so they sit on flat open-addressing
+  // indexes; nameserver objects live in a dense pool because they are not
+  // default-constructible (FlatMap slots must be). The NSSet interning
+  // index keys on a composite vector key and only runs at registration
+  // time, so it stays node-based.
   std::vector<DomainEntry> domains_;
   std::vector<NssetEntry> nssets_;
   std::unordered_map<NSSetKey, NssetId> nsset_index_;
-  std::unordered_map<netsim::IPv4Addr, Nameserver> nameservers_;
-  std::unordered_map<netsim::IPv4Addr, std::vector<NssetId>> ip_to_nssets_;
-  std::unordered_set<netsim::IPv4Addr> open_resolvers_;
+  std::vector<Nameserver> nameserver_pool_;
+  util::FlatMap<netsim::IPv4Addr, std::uint32_t> nameserver_index_;
+  util::FlatMap<netsim::IPv4Addr, std::vector<NssetId>> ip_to_nssets_;
+  util::FlatSet<netsim::IPv4Addr> open_resolvers_;
 };
 
 }  // namespace ddos::dns

@@ -49,8 +49,7 @@ void MeasurementStore::add(const Measurement& m) {
 
 const Aggregate* MeasurementStore::daily(dns::NssetId nsset,
                                          netsim::DayIndex day) const {
-  const auto it = daily_.find(day_key(nsset, day));
-  return it == daily_.end() ? nullptr : &it->second;
+  return daily_.find(day_key(nsset, day));
 }
 
 double MeasurementStore::daily_avg_rtt(dns::NssetId nsset,
@@ -61,19 +60,18 @@ double MeasurementStore::daily_avg_rtt(dns::NssetId nsset,
 
 const Aggregate* MeasurementStore::window(dns::NssetId nsset,
                                           netsim::WindowIndex window) const {
-  const auto it = window_.find(window_key(nsset, window));
-  return it == window_.end() ? nullptr : &it->second;
+  return window_.find(window_key(nsset, window));
 }
 
 bool MeasurementStore::ns_seen_on(netsim::IPv4Addr ns,
                                   netsim::DayIndex day) const {
-  const auto it = ns_seen_.find(day);
-  return it != ns_seen_.end() && it->second.contains(ns);
+  const util::FlatSet<netsim::IPv4Addr>* ips = ns_seen_.find(day);
+  return ips && ips->contains(ns);
 }
 
 std::size_t MeasurementStore::ns_seen_count(netsim::DayIndex day) const {
-  const auto it = ns_seen_.find(day);
-  return it == ns_seen_.end() ? 0 : it->second.size();
+  const util::FlatSet<netsim::IPv4Addr>* ips = ns_seen_.find(day);
+  return ips ? ips->size() : 0;
 }
 
 void MeasurementStore::finalize_day(
@@ -81,42 +79,32 @@ void MeasurementStore::finalize_day(
     const std::function<bool(dns::NssetId, netsim::WindowIndex)>& keep) {
   const netsim::WindowIndex first = day * netsim::kWindowsPerDay;
   const netsim::WindowIndex last = first + netsim::kWindowsPerDay - 1;
-  for (auto it = window_.begin(); it != window_.end();) {
-    const auto nsset = static_cast<dns::NssetId>(it->first >> 32);
+  window_.erase_if([&](std::uint64_t key, const Aggregate&) {
+    const auto nsset = static_cast<dns::NssetId>(key >> 32);
     const auto window =
-        static_cast<netsim::WindowIndex>(static_cast<std::uint32_t>(it->first));
-    if (window >= first && window <= last && !keep(nsset, window)) {
-      it = window_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+        static_cast<netsim::WindowIndex>(static_cast<std::uint32_t>(key));
+    return window >= first && window <= last && !keep(nsset, window);
+  });
 }
 
 std::vector<std::pair<std::uint64_t, Aggregate>>
 MeasurementStore::sorted_daily() const {
-  std::vector<std::pair<std::uint64_t, Aggregate>> out(daily_.begin(),
-                                                       daily_.end());
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  return out;
+  return daily_.sorted_items();
 }
 
 std::vector<std::pair<std::uint64_t, Aggregate>>
 MeasurementStore::sorted_window() const {
-  std::vector<std::pair<std::uint64_t, Aggregate>> out(window_.begin(),
-                                                       window_.end());
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  return out;
+  return window_.sorted_items();
 }
 
 std::vector<std::pair<netsim::DayIndex, netsim::IPv4Addr>>
 MeasurementStore::sorted_ns_seen() const {
   std::vector<std::pair<netsim::DayIndex, netsim::IPv4Addr>> out;
-  for (const auto& [day, ips] : ns_seen_) {
-    for (const netsim::IPv4Addr ip : ips) out.emplace_back(day, ip);
-  }
+  ns_seen_.for_each(
+      [&out](netsim::DayIndex day, const util::FlatSet<netsim::IPv4Addr>& ips) {
+        ips.for_each(
+            [&out, day](netsim::IPv4Addr ip) { out.emplace_back(day, ip); });
+      });
   std::sort(out.begin(), out.end());
   return out;
 }

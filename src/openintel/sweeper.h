@@ -93,6 +93,35 @@ class Sweeper {
         });
   }
 
+  /// Batch-oriented parallel variant: like the pooled sweep_domains, but
+  /// the sink receives each shard's measurements as one contiguous span
+  /// (still on the calling thread, still in exact domain order) so the
+  /// store can fold them with its batched, group-by-key ingest instead of
+  /// one probe per measurement.
+  template <typename BatchSink>
+  void sweep_domains_batched(netsim::DayIndex day,
+                             std::span<const dns::DomainId> domains,
+                             exec::WorkerPool& pool, BatchSink&& sink) const {
+    exec::RegionOptions opts;
+    opts.label = "sweep.domains";
+    opts.pool = &pool;
+    exec::parallel_map_reduce(
+        domains.size(), opts, std::size_t{0},
+        [&](const exec::ShardRange& range) {
+          std::vector<Measurement> out;
+          out.reserve(range.size());
+          for (std::size_t i = range.begin; i < range.end; ++i) {
+            const dns::DomainId d = domains[i];
+            out.push_back(measure(d, measurement_time(d, day)));
+          }
+          return out;
+        },
+        [&](std::size_t& total, std::vector<Measurement>&& shard) {
+          sink(std::span<const Measurement>(shard));
+          total += shard.size();
+        });
+  }
+
   /// Measure one domain repeatedly at a fixed time (probe bursts for the
   /// reactive platform); attempt index decorrelates the randomness.
   Measurement measure_with_salt(dns::DomainId domain, netsim::SimTime t,

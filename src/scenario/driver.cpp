@@ -6,13 +6,13 @@
 #include <map>
 #include <optional>
 #include <string>
-#include <unordered_set>
 
 #include "exec/pool.h"
 #include "obs/obs.h"
 #include "store/dataset.h"
 #include "store/reader.h"
 #include "store/writer.h"
+#include "util/flat_map.h"
 #include "util/strings.h"
 
 namespace ddos::scenario {
@@ -66,10 +66,10 @@ LongitudinalResult run_longitudinal(const LongitudinalConfig& config) {
   // ---- Derive sweep/retention sets from the inferred events.
   std::optional<obs::ScopedSpan> plan_span;
   plan_span.emplace(tracer, "sweep.plan");
-  std::unordered_set<std::uint64_t> daily_keys;    // (nsset, day)
-  std::unordered_set<std::uint64_t> window_keys;   // (nsset, window)
-  std::unordered_set<std::uint64_t> ns_seen_keys;  // (ip, day)
-  std::map<netsim::DayIndex, std::unordered_set<dns::DomainId>> sweep_plan;
+  util::FlatSet<std::uint64_t> daily_keys;    // (nsset, day)
+  util::FlatSet<std::uint64_t> window_keys;   // (nsset, window)
+  util::FlatSet<std::uint64_t> ns_seen_keys;  // (ip, day)
+  std::map<netsim::DayIndex, util::FlatSet<dns::DomainId>> sweep_plan;
 
   const auto daily_key = [](dns::NssetId nsset, netsim::DayIndex day) {
     return (static_cast<std::uint64_t>(nsset) << 32) |
@@ -101,21 +101,34 @@ LongitudinalResult run_longitudinal(const LongitudinalConfig& config) {
       const auto domains = world.registry.domains_of_nsset(nsset);
       for (netsim::DayIndex d = first_day - 1; d <= last_day; ++d) {
         auto& day_set = sweep_plan[d];
-        day_set.insert(domains.begin(), domains.end());
+        for (const dns::DomainId dom : domains) day_set.insert(dom);
       }
     }
   }
 
-  result.store.set_retention(
-      [&daily_keys, daily_key](dns::NssetId nsset, netsim::DayIndex day) {
-        return daily_keys.contains(daily_key(nsset, day));
-      },
-      [&window_keys, window_key](dns::NssetId nsset, netsim::WindowIndex w) {
-        return window_keys.contains(window_key(nsset, w));
-      },
-      [&ns_seen_keys, ns_key](netsim::IPv4Addr ip, netsim::DayIndex day) {
-        return ns_seen_keys.contains(ns_key(ip, day));
-      });
+  // Key-set-backed retention, resolved at compile time in the batched fold
+  // loop (no std::function call per measurement — see
+  // MeasurementStore::add_batch).
+  struct PlanRetention {
+    const util::FlatSet<std::uint64_t>& daily_keys;
+    const util::FlatSet<std::uint64_t>& window_keys;
+    const util::FlatSet<std::uint64_t>& ns_seen_keys;
+
+    bool daily(dns::NssetId nsset, netsim::DayIndex day) const {
+      return daily_keys.contains((static_cast<std::uint64_t>(nsset) << 32) |
+                                 static_cast<std::uint32_t>(day));
+    }
+    bool window(dns::NssetId nsset, netsim::WindowIndex w) const {
+      return window_keys.contains((static_cast<std::uint64_t>(nsset) << 32) |
+                                  static_cast<std::uint32_t>(w));
+    }
+    bool ns_seen(netsim::IPv4Addr ip, netsim::DayIndex day) const {
+      return ns_seen_keys.contains(
+          (static_cast<std::uint64_t>(ip.value()) << 32) |
+          static_cast<std::uint32_t>(day));
+    }
+  };
+  const PlanRetention retention{daily_keys, window_keys, ns_seen_keys};
 
   std::uint64_t domains_planned = 0;
   for (const auto& [day, domains] : sweep_plan) {
@@ -147,15 +160,17 @@ LongitudinalResult run_longitudinal(const LongitudinalConfig& config) {
       obs::ScopedSpan day_span(tracer, "sweep.day");
       day_span.arg("day", static_cast<std::int64_t>(day));
       day_span.set_items(domains.size());
-      day_domains.assign(domains.begin(), domains.end());
-      std::sort(day_domains.begin(), day_domains.end());
-      // Parallel across domains within the day; the sink below runs on
-      // this thread in domain order, so store folds stay deterministic.
-      sweeper.sweep_domains(day, day_domains, exec::global_pool(),
-                            [&result](const openintel::Measurement& m) {
-                              result.store.add(m);
-                              ++result.swept_measurements;
-                            });
+      day_domains = domains.sorted_keys();
+      // Parallel across domains within the day; the batch sink below runs
+      // on this thread in shard (= domain) order, and the store's grouped
+      // fold preserves per-key measurement order, so the resulting state
+      // is bit-identical to per-measurement add() at any thread count.
+      sweeper.sweep_domains_batched(
+          day, day_domains, exec::global_pool(),
+          [&result, &retention](std::span<const openintel::Measurement> batch) {
+            result.store.add_batch(batch, retention);
+            result.swept_measurements += batch.size();
+          });
       ++days_done;
       if (observer) {
         observer->pipeline.run_days_swept.set(static_cast<double>(days_done));
@@ -177,8 +192,6 @@ LongitudinalResult run_longitudinal(const LongitudinalConfig& config) {
     }
     sweep_span.set_items(result.swept_measurements);
   }
-  // Drop the retention closures: the key sets above go out of scope here.
-  result.store.set_retention(nullptr, nullptr, nullptr);
   if (observer) {
     observer->pipeline.run_store_measurements.set(
         static_cast<double>(result.swept_measurements));

@@ -208,10 +208,15 @@ void write_measurements(Writer& writer,
 
 void read_measurements(const Reader& reader,
                        openintel::MeasurementStore& store) {
-  for (const auto& [key, agg] : read_aggregates(reader, "daily"))
-    store.restore_daily(key, agg);
-  for (const auto& [key, agg] : read_aggregates(reader, "window"))
-    store.restore_window(key, agg);
+  // Size the restore targets from the column row counts up front: loads
+  // then probe into final-size tables instead of rehashing O(log n) times.
+  const auto daily = read_aggregates(reader, "daily");
+  store.reserve_daily(daily.size());
+  for (const auto& [key, agg] : daily) store.restore_daily(key, agg);
+
+  const auto window = read_aggregates(reader, "window");
+  store.reserve_window(window.size());
+  for (const auto& [key, agg] : window) store.restore_window(key, agg);
 
   const std::uint64_t rows = reader.dataset_rows("ns_seen");
   std::vector<std::uint64_t> day, ip;
@@ -220,9 +225,17 @@ void read_measurements(const Reader& reader,
       [&] { ip = reader.read_u64("ns_seen", "ip"); },
   });
   expect_rows(reader, "ns_seen", rows, day.size());
-  for (std::uint64_t i = 0; i < rows; ++i) {
-    store.restore_ns_seen(static_cast<netsim::DayIndex>(day[i]),
-                          netsim::IPv4Addr(static_cast<std::uint32_t>(ip[i])));
+  // The snapshot is sorted by (day, ip), so each day's sightings form one
+  // run; reserve the per-day set from the run length before inserting.
+  for (std::uint64_t i = 0; i < rows;) {
+    std::uint64_t end = i + 1;
+    while (end < rows && day[end] == day[i]) ++end;
+    const auto d = static_cast<netsim::DayIndex>(day[i]);
+    store.reserve_ns_seen(d, end - i);
+    for (; i < end; ++i) {
+      store.restore_ns_seen(d,
+                            netsim::IPv4Addr(static_cast<std::uint32_t>(ip[i])));
+    }
   }
 }
 

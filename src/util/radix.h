@@ -1,0 +1,67 @@
+// Stable LSD radix sort for (uint64 key, uint32 payload) pairs — the
+// batched-ingest scratch of MeasurementStore::add_batch. Byte planes that
+// are constant across the whole input are skipped: batch keys share their
+// high bytes (nsset ids are small, windows of one day share a base), so a
+// typical batch sorts in 2–4 counting passes instead of 8, an order of
+// magnitude cheaper than comparison sorting the same pairs.
+//
+// Stability is load-bearing: equal keys keep their input order, which is
+// what lets add_batch fold each key-run in arrival order and reproduce
+// per-measurement ingest state bit for bit.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ddos::util {
+
+using KeyedIndex = std::pair<std::uint64_t, std::uint32_t>;
+
+/// Sort `v` ascending by key (stable). `tmp` is caller-owned scratch so a
+/// hot loop can reuse one allocation across calls.
+inline void radix_sort_keyed(std::vector<KeyedIndex>& v,
+                             std::vector<KeyedIndex>& tmp) {
+  const std::size_t n = v.size();
+  if (n < 2) return;
+  if (n < 64) {
+    // Counting passes cost ~256 slots of bookkeeping each; below this size
+    // a comparison sort wins. Stable to preserve equal-key arrival order.
+    std::stable_sort(v.begin(), v.end(),
+                     [](const KeyedIndex& a, const KeyedIndex& b) {
+                       return a.first < b.first;
+                     });
+    return;
+  }
+
+  std::uint64_t or_all = 0;
+  std::uint64_t and_all = ~std::uint64_t{0};
+  for (const auto& [key, idx] : v) {
+    or_all |= key;
+    and_all &= key;
+  }
+  const std::uint64_t varying = or_all ^ and_all;  // bytes worth sorting
+  if (varying == 0) return;
+
+  tmp.resize(n);
+  std::vector<KeyedIndex>* src = &v;
+  std::vector<KeyedIndex>* dst = &tmp;
+  for (int shift = 0; shift < 64; shift += 8) {
+    if (((varying >> shift) & 0xFF) == 0) continue;
+    std::uint32_t counts[256] = {};
+    for (const auto& [key, idx] : *src) ++counts[(key >> shift) & 0xFF];
+    std::uint32_t running = 0;
+    for (std::uint32_t& c : counts) {
+      const std::uint32_t here = c;
+      c = running;
+      running += here;
+    }
+    for (const auto& item : *src)
+      (*dst)[counts[(item.first >> shift) & 0xFF]++] = item;
+    std::swap(src, dst);
+  }
+  if (src != &v) v.swap(tmp);
+}
+
+}  // namespace ddos::util

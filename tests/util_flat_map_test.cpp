@@ -1,0 +1,273 @@
+// FlatMap / FlatSet / radix-sort coverage: probe-chain mechanics
+// (backward-shift erase under forced collisions), growth rehash, snapshot
+// determinism across insertion orders, and a randomized differential
+// against std::unordered_map — the reference semantics the flat tables
+// replace on the hot paths.
+#include "util/flat_map.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "netsim/ipv4.h"
+#include "netsim/rng.h"
+#include "util/radix.h"
+
+namespace ddos::util {
+namespace {
+
+TEST(FlatMap, InsertFindEraseRoundTrip) {
+  FlatMap<std::uint64_t, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(7u), nullptr);
+  EXPECT_FALSE(map.erase(7u));
+
+  auto [slot, inserted] = map.try_emplace(7u, 70);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*slot, 70);
+  auto [again, inserted_again] = map.try_emplace(7u, 99);
+  EXPECT_FALSE(inserted_again);
+  EXPECT_EQ(*again, 70);  // try_emplace does not overwrite
+
+  map[8u] = 80;
+  map.insert_or_assign(9u, 90);
+  map.insert_or_assign(9u, 91);
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(*map.find(8u), 80);
+  EXPECT_EQ(*map.find(9u), 91);
+  EXPECT_TRUE(map.contains(7u));
+
+  EXPECT_TRUE(map.erase(8u));
+  EXPECT_FALSE(map.contains(8u));
+  EXPECT_EQ(map.size(), 2u);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_FALSE(map.contains(7u));
+}
+
+// Degenerate hash: every key lands in slot 0, so all entries form one
+// probe chain and erase exercises the backward-shift logic maximally.
+struct CollidingHash {
+  std::uint64_t operator()(const std::uint64_t&) const { return 0; }
+};
+
+TEST(FlatMap, BackwardShiftEraseUnderCollisionChain) {
+  FlatMap<std::uint64_t, int, CollidingHash> map;
+  for (std::uint64_t k = 0; k < 10; ++k) map[k] = static_cast<int>(k * 10);
+
+  // Erase from the middle of the chain: everything behind must stay
+  // reachable (a tombstone-free scheme has to shift the tail back).
+  EXPECT_TRUE(map.erase(4u));
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    if (k == 4) {
+      EXPECT_FALSE(map.contains(k));
+    } else {
+      ASSERT_NE(map.find(k), nullptr) << "lost key " << k;
+      EXPECT_EQ(*map.find(k), static_cast<int>(k * 10));
+    }
+  }
+  // Erase the chain head, then the tail, re-checking the survivors.
+  EXPECT_TRUE(map.erase(0u));
+  EXPECT_TRUE(map.erase(9u));
+  for (const std::uint64_t k : {1u, 2u, 3u, 5u, 6u, 7u, 8u}) {
+    ASSERT_NE(map.find(k), nullptr) << "lost key " << k;
+  }
+  EXPECT_EQ(map.size(), 7u);
+}
+
+TEST(FlatMap, GrowthRehashKeepsAllEntries) {
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  constexpr std::uint64_t kN = 10000;  // forces many doublings from 16
+  for (std::uint64_t k = 0; k < kN; ++k) map[k * 977] = k;
+  EXPECT_EQ(map.size(), kN);
+  EXPECT_GE(map.capacity() * 3, map.size() * 4);  // load factor <= 3/4
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    ASSERT_NE(map.find(k * 977), nullptr);
+    EXPECT_EQ(*map.find(k * 977), k);
+  }
+}
+
+TEST(FlatMap, ReservePreventsRehash) {
+  FlatMap<std::uint64_t, int> map;
+  map.reserve(1000);
+  const std::size_t cap = map.capacity();
+  EXPECT_GE(cap * 3, std::size_t{1000} * 4 - 3);
+  int* slot = map.try_emplace(1u, 1).first;
+  for (std::uint64_t k = 2; k <= 1000; ++k) map.try_emplace(k);
+  EXPECT_EQ(map.capacity(), cap);  // no growth within the reservation
+  EXPECT_EQ(*slot, 1);             // original slot pointer still valid
+}
+
+TEST(FlatMap, SortedItemsDeterministicAcrossInsertionOrders) {
+  std::vector<std::uint64_t> keys;
+  netsim::Rng rng(42);
+  for (int i = 0; i < 500; ++i) keys.push_back(rng.next_u64());
+
+  FlatMap<std::uint64_t, std::uint64_t> forward;
+  for (const auto k : keys) forward[k] = k ^ 1;
+  FlatMap<std::uint64_t, std::uint64_t> backward;
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) backward[*it] = *it ^ 1;
+  // A third order with churn: insert everything twice as much, erase half,
+  // re-insert — contents end equal, history very different.
+  FlatMap<std::uint64_t, std::uint64_t> churned;
+  for (const auto k : keys) churned[k] = 0;
+  for (std::size_t i = 0; i < keys.size(); i += 2) churned.erase(keys[i]);
+  for (const auto k : keys) churned[k] = k ^ 1;
+
+  const auto a = forward.sorted_items();
+  const auto b = backward.sorted_items();
+  const auto c = churned.sorted_items();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end(),
+                             [](const auto& x, const auto& y) {
+                               return x.first < y.first;
+                             }));
+}
+
+TEST(FlatMap, RandomizedDifferentialAgainstUnorderedMap) {
+  FlatMap<std::uint64_t, std::uint64_t> flat;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  netsim::Rng rng(7);
+  for (int op = 0; op < 200000; ++op) {
+    // Small key universe so inserts, hits, misses and erases all happen
+    // frequently and probe chains overlap heavily.
+    const std::uint64_t key = rng.uniform_u64(512);
+    switch (rng.uniform_u64(4)) {
+      case 0: {  // try_emplace
+        const std::uint64_t v = rng.next_u64();
+        const auto [slot, inserted] = flat.try_emplace(key, v);
+        const auto [it, ref_inserted] = ref.try_emplace(key, v);
+        ASSERT_EQ(inserted, ref_inserted);
+        ASSERT_EQ(*slot, it->second);
+        break;
+      }
+      case 1: {  // insert_or_assign
+        const std::uint64_t v = rng.next_u64();
+        flat.insert_or_assign(key, v);
+        ref[key] = v;
+        break;
+      }
+      case 2: {  // erase
+        ASSERT_EQ(flat.erase(key), ref.erase(key) > 0);
+        break;
+      }
+      default: {  // find
+        const std::uint64_t* v = flat.find(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(v != nullptr, it != ref.end());
+        if (v) {
+          ASSERT_EQ(*v, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  // Full-content equivalence at the end.
+  const auto items = flat.sorted_items();
+  ASSERT_EQ(items.size(), ref.size());
+  for (const auto& [k, v] : items) {
+    const auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    ASSERT_EQ(v, it->second);
+  }
+}
+
+TEST(FlatMap, EraseIfPrunesExactlyMatches) {
+  FlatMap<std::uint64_t, int> map;
+  for (std::uint64_t k = 0; k < 1000; ++k) map[k] = static_cast<int>(k);
+  const std::size_t erased =
+      map.erase_if([](std::uint64_t k, int) { return k % 3 == 0; });
+  EXPECT_EQ(erased, 334u);
+  EXPECT_EQ(map.size(), 666u);
+  for (std::uint64_t k = 0; k < 1000; ++k)
+    EXPECT_EQ(map.contains(k), k % 3 != 0);
+}
+
+TEST(FlatMap, IPv4KeysUseValueHash) {
+  FlatMap<netsim::IPv4Addr, int> map;
+  map[netsim::IPv4Addr(10, 0, 0, 1)] = 1;
+  map[netsim::IPv4Addr(10, 0, 0, 2)] = 2;
+  EXPECT_EQ(*map.find(netsim::IPv4Addr(10, 0, 0, 1)), 1);
+  EXPECT_FALSE(map.contains(netsim::IPv4Addr(10, 0, 0, 3)));
+}
+
+TEST(FlatSet, BasicsAndSortedKeys) {
+  FlatSet<std::uint64_t> set;
+  EXPECT_TRUE(set.insert(5u));
+  EXPECT_FALSE(set.insert(5u));  // duplicate
+  EXPECT_TRUE(set.insert(3u));
+  EXPECT_TRUE(set.insert(9u));
+  EXPECT_TRUE(set.contains(3u));
+  EXPECT_FALSE(set.contains(4u));
+  EXPECT_TRUE(set.erase(3u));
+  EXPECT_FALSE(set.erase(3u));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.sorted_keys(), (std::vector<std::uint64_t>{5u, 9u}));
+}
+
+TEST(RadixSort, SortsAndIsStable) {
+  // Pairs with duplicated keys; payloads record arrival order, so
+  // stability is observable.
+  std::vector<KeyedIndex> v;
+  netsim::Rng rng(11);
+  for (std::uint32_t i = 0; i < 5000; ++i)
+    v.emplace_back(rng.uniform_u64(64) << 40 | rng.uniform_u64(256), i);
+  std::vector<KeyedIndex> expect = v;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const KeyedIndex& a, const KeyedIndex& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<KeyedIndex> tmp;
+  radix_sort_keyed(v, tmp);
+  EXPECT_EQ(v, expect);
+}
+
+TEST(RadixSort, SmallInputsAndConstantKeys) {
+  std::vector<KeyedIndex> tmp;
+
+  std::vector<KeyedIndex> empty;
+  radix_sort_keyed(empty, tmp);
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<KeyedIndex> one{{42, 0}};
+  radix_sort_keyed(one, tmp);
+  EXPECT_EQ(one.size(), 1u);
+
+  // All keys equal: every byte plane is constant, nothing moves, payload
+  // order must survive.
+  std::vector<KeyedIndex> same;
+  for (std::uint32_t i = 0; i < 100; ++i) same.emplace_back(7u, i);
+  radix_sort_keyed(same, tmp);
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(same[i].second, i);
+
+  // Below the comparison-sort cutoff (n < 64) with varying keys.
+  std::vector<KeyedIndex> small;
+  for (std::uint32_t i = 0; i < 40; ++i)
+    small.emplace_back(40 - i, i);
+  radix_sort_keyed(small, tmp);
+  EXPECT_TRUE(std::is_sorted(small.begin(), small.end(),
+                             [](const KeyedIndex& a, const KeyedIndex& b) {
+                               return a.first < b.first;
+                             }));
+}
+
+TEST(RadixSort, FullWidthKeysMatchStdSort) {
+  std::vector<KeyedIndex> v;
+  netsim::Rng rng(13);
+  for (std::uint32_t i = 0; i < 10000; ++i) v.emplace_back(rng.next_u64(), i);
+  std::vector<KeyedIndex> expect = v;
+  std::sort(expect.begin(), expect.end());
+  std::vector<KeyedIndex> tmp;
+  radix_sort_keyed(v, tmp);
+  EXPECT_EQ(v, expect);
+}
+
+}  // namespace
+}  // namespace ddos::util

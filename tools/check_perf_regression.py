@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Fail CI when a guarded pipeline-bench metric regresses past tolerance.
+
+Usage:
+    check_perf_regression.py <bench_perf_pipeline.json> <baseline_perf.json>
+
+The baseline file (bench/baseline_perf.json) declares a set of guarded
+higher-is-better metrics (currently the sweep-ingest throughput
+``ingest_measurements_per_sec``) plus a relative tolerance. A fresh bench
+run must stay within ``tolerance`` of each guarded baseline value; metrics
+listed under ``informational`` are printed for the log but never fail the
+job, since lower-level numbers (per-probe latency, store MB/s) are too
+runner-sensitive to gate on.
+
+Only the standard library is used so the script runs on a bare CI image.
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        bench = json.load(f)
+    with open(argv[2]) as f:
+        baseline = json.load(f)
+
+    results = bench.get("results", {})
+    tolerance = float(baseline.get("tolerance", 0.20))
+    failures = []
+
+    for name, base in sorted(baseline.get("guarded", {}).items()):
+        measured = results.get(name)
+        if measured is None:
+            failures.append(f"{name}: missing from bench results")
+            continue
+        floor = float(base) * (1.0 - tolerance)
+        ratio = float(measured) / float(base)
+        verdict = "OK" if float(measured) >= floor else "REGRESSED"
+        print(f"{name}: measured {measured:.6g} vs baseline {base:.6g} "
+              f"({ratio:.2f}x, floor {floor:.6g}) -> {verdict}")
+        if verdict != "OK":
+            failures.append(
+                f"{name}: {measured:.6g} < floor {floor:.6g} "
+                f"(baseline {base:.6g}, tolerance {tolerance:.0%})")
+
+    for name, base in sorted(baseline.get("informational", {}).items()):
+        measured = results.get(name)
+        shown = f"{measured:.6g}" if measured is not None else "missing"
+        print(f"{name}: measured {shown} vs baseline {base:.6g} (informational)")
+
+    if failures:
+        print("\nperf regression check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nperf regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
