@@ -7,7 +7,6 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "exec/parallel.h"
 #include "obs/obs.h"
 #include "util/stats.h"
 
@@ -29,57 +28,28 @@ YearMonth ym_of(const telescope::RSDoSEvent& ev) {
 
 }  // namespace
 
-std::vector<MonthlyRow> monthly_summary(
-    const std::vector<telescope::RSDoSEvent>& events,
-    const dns::DnsRegistry& registry) {
-  obs::ScopedSpan span(obs::installed_tracer(), "analysis.monthly_summary");
-  span.set_items(events.size());
-  struct Acc {
-    std::uint64_t dns_attacks = 0;
-    std::uint64_t other_attacks = 0;
-    std::unordered_set<netsim::IPv4Addr> dns_ips;
-    std::unordered_set<netsim::IPv4Addr> other_ips;
-  };
-  // Month buckets and IP sets are order-independent, so events shard over
-  // the pool and per-shard maps merge in shard order.
-  exec::RegionOptions opts;
-  opts.label = "analysis.monthly_summary";
-  std::map<YearMonth, Acc> by_month = exec::parallel_map_reduce(
-      events.size(), opts, std::map<YearMonth, Acc>{},
-      [&](const exec::ShardRange& range) {
-        std::map<YearMonth, Acc> shard;
-        for (std::size_t i = range.begin; i < range.end; ++i) {
-          const auto& ev = events[i];
-          Acc& acc = shard[ym_of(ev)];
-          // Table 3 counts every attack on an IP appearing in NS records as
-          // a DNS attack; open resolvers are filtered later, in the impact
-          // join (the paper surfaces them in Table 5 first).
-          const bool is_dns = registry.is_ns_ip(ev.victim);
-          if (is_dns) {
-            ++acc.dns_attacks;
-            acc.dns_ips.insert(ev.victim);
-          } else {
-            ++acc.other_attacks;
-            acc.other_ips.insert(ev.victim);
-          }
-        }
-        return shard;
-      },
-      [](std::map<YearMonth, Acc>& acc, std::map<YearMonth, Acc>&& shard) {
-        for (auto& [ym, part] : shard) {
-          Acc& dst = acc[ym];
-          dst.dns_attacks += part.dns_attacks;
-          dst.other_attacks += part.other_attacks;
-          dst.dns_ips.merge(part.dns_ips);
-          dst.other_ips.merge(part.other_ips);
-        }
-      });
+void MonthlySummaryFold::add(const telescope::RSDoSEvent& ev) {
+  const YearMonth ym = ym_of(ev);
+  Acc& acc = by_month_[{ym.year, ym.month}];
+  // Table 3 counts every attack on an IP appearing in NS records as a DNS
+  // attack; open resolvers are filtered later, in the impact join (the
+  // paper surfaces them in Table 5 first).
+  if (registry_->is_ns_ip(ev.victim)) {
+    ++acc.dns_attacks;
+    acc.dns_ips.insert(ev.victim);
+  } else {
+    ++acc.other_attacks;
+    acc.other_ips.insert(ev.victim);
+  }
+}
+
+std::vector<MonthlyRow> MonthlySummaryFold::finish() const {
   std::vector<MonthlyRow> rows;
-  rows.reserve(by_month.size());
-  for (const auto& [ym, acc] : by_month) {
+  rows.reserve(by_month_.size());
+  for (const auto& [ym, acc] : by_month_) {
     MonthlyRow row;
-    row.year = ym.year;
-    row.month = ym.month;
+    row.year = ym.first;
+    row.month = ym.second;
     row.dns_attacks = acc.dns_attacks;
     row.other_attacks = acc.other_attacks;
     row.dns_ips = acc.dns_ips.size();
@@ -87,6 +57,20 @@ std::vector<MonthlyRow> monthly_summary(
     rows.push_back(row);
   }
   return rows;
+}
+
+std::vector<MonthlyRow> monthly_summary(
+    const std::vector<telescope::RSDoSEvent>& events,
+    const dns::DnsRegistry& registry) {
+  obs::ScopedSpan span(obs::installed_tracer(), "analysis.monthly_summary");
+  span.set_items(events.size());
+  // One pass of the incremental fold: buckets and victim-IP sets are
+  // order-independent, so one serial fold over ~thousands of events costs
+  // less than sharding ever saved, and the streaming driver's incremental
+  // path exercises the identical accounting.
+  MonthlySummaryFold fold(registry);
+  for (const auto& ev : events) fold.add(ev);
+  return fold.finish();
 }
 
 MonthlyRow summary_totals(const std::vector<MonthlyRow>& rows) {
@@ -220,34 +204,22 @@ PortDistribution port_distribution(
   return dist;
 }
 
+void FailureFold::add(const NssetAttackEvent& ev) {
+  ++acc_.events;
+  acc_.timeouts += ev.timeouts;
+  acc_.servfails += ev.servfails;
+  if (ev.any_failure()) {
+    ++acc_.events_with_failures;
+    acc_.failed_event_ports.add(port_bucket(ev.rsdos.first_port));
+  }
+}
+
 FailureSummary failure_summary(const std::vector<NssetAttackEvent>& events) {
   obs::ScopedSpan span(obs::installed_tracer(), "analysis.failure_summary");
   span.set_items(events.size());
-  exec::RegionOptions opts;
-  opts.label = "analysis.failure_summary";
-  FailureSummary s = exec::parallel_map_reduce(
-      events.size(), opts, FailureSummary{},
-      [&](const exec::ShardRange& range) {
-        FailureSummary shard;
-        for (std::size_t i = range.begin; i < range.end; ++i) {
-          const auto& ev = events[i];
-          shard.timeouts += ev.timeouts;
-          shard.servfails += ev.servfails;
-          if (ev.any_failure()) {
-            ++shard.events_with_failures;
-            shard.failed_event_ports.add(port_bucket(ev.rsdos.first_port));
-          }
-        }
-        return shard;
-      },
-      [](FailureSummary& acc, FailureSummary&& shard) {
-        acc.timeouts += shard.timeouts;
-        acc.servfails += shard.servfails;
-        acc.events_with_failures += shard.events_with_failures;
-        acc.failed_event_ports.merge(shard.failed_event_ports);
-      });
-  s.events = events.size();
-  return s;
+  FailureFold fold;
+  for (const auto& ev : events) fold.add(ev);
+  return fold.finish();
 }
 
 std::vector<FailurePoint> failure_points(
@@ -266,28 +238,18 @@ std::vector<FailurePoint> failure_points(
   return pts;
 }
 
+void ImpactFold::add(const NssetAttackEvent& ev) {
+  ++acc_.events;
+  if (ev.peak_impact >= kImpairedThreshold) ++acc_.impaired_10x;
+  if (ev.peak_impact >= kSevereThreshold) ++acc_.severe_100x;
+}
+
 ImpactSummary impact_summary(const std::vector<NssetAttackEvent>& events) {
   obs::ScopedSpan span(obs::installed_tracer(), "analysis.impact_summary");
   span.set_items(events.size());
-  exec::RegionOptions opts;
-  opts.label = "analysis.impact_summary";
-  ImpactSummary s = exec::parallel_map_reduce(
-      events.size(), opts, ImpactSummary{},
-      [&](const exec::ShardRange& range) {
-        ImpactSummary shard;
-        for (std::size_t i = range.begin; i < range.end; ++i) {
-          const auto& ev = events[i];
-          if (ev.peak_impact >= kImpairedThreshold) ++shard.impaired_10x;
-          if (ev.peak_impact >= kSevereThreshold) ++shard.severe_100x;
-        }
-        return shard;
-      },
-      [](ImpactSummary& acc, ImpactSummary&& shard) {
-        acc.impaired_10x += shard.impaired_10x;
-        acc.severe_100x += shard.severe_100x;
-      });
-  s.events = events.size();
-  return s;
+  ImpactFold fold;
+  for (const auto& ev : events) fold.add(ev);
+  return fold.finish();
 }
 
 std::vector<ImpactPoint> impact_points(

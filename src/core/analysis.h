@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/join.h"
@@ -41,6 +43,31 @@ struct MonthlyRow {
 std::vector<MonthlyRow> monthly_summary(
     const std::vector<telescope::RSDoSEvent>& events,
     const dns::DnsRegistry& registry);
+
+/// Incremental form of monthly_summary: add() one telescope event at a
+/// time — in any order; month buckets and victim-IP sets are
+/// order-independent — and finish() materialises the rows. The streaming
+/// driver folds events as day batches retire instead of holding the full
+/// vector; monthly_summary() itself is one fold pass, so both paths share
+/// the accounting.
+class MonthlySummaryFold {
+ public:
+  explicit MonthlySummaryFold(const dns::DnsRegistry& registry)
+      : registry_(&registry) {}
+
+  void add(const telescope::RSDoSEvent& ev);
+  std::vector<MonthlyRow> finish() const;
+
+ private:
+  struct Acc {
+    std::uint64_t dns_attacks = 0;
+    std::uint64_t other_attacks = 0;
+    std::unordered_set<netsim::IPv4Addr> dns_ips;
+    std::unordered_set<netsim::IPv4Addr> other_ips;
+  };
+  const dns::DnsRegistry* registry_;
+  std::map<std::pair<int, int>, Acc> by_month_;  // (year, month)
+};
 
 /// Column totals of Table 3.
 MonthlyRow summary_totals(const std::vector<MonthlyRow>& rows);
@@ -125,6 +152,17 @@ struct FailureSummary {
 
 FailureSummary failure_summary(const std::vector<NssetAttackEvent>& events);
 
+/// Incremental form of failure_summary: integer tallies and a port
+/// counter, both order-independent, folded one joined event at a time.
+class FailureFold {
+ public:
+  void add(const NssetAttackEvent& ev);
+  FailureSummary finish() const { return acc_; }
+
+ private:
+  FailureSummary acc_;
+};
+
 /// Scatter points of Fig. 7: x = domains measured during the attack,
 /// y = failure rate, colour = hosted-domain magnitude.
 struct FailurePoint {
@@ -153,6 +191,16 @@ struct ImpactSummary {
 };
 
 ImpactSummary impact_summary(const std::vector<NssetAttackEvent>& events);
+
+/// Incremental form of impact_summary: pure threshold counters.
+class ImpactFold {
+ public:
+  void add(const NssetAttackEvent& ev);
+  ImpactSummary finish() const { return acc_; }
+
+ private:
+  ImpactSummary acc_;
+};
 
 struct ImpactPoint {
   std::uint64_t domains_hosted = 0;

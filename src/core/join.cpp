@@ -104,13 +104,65 @@ std::vector<NssetAttackEvent> merge_concurrent_events(
   return out;
 }
 
+void JoinPipeline::join_event(const telescope::RSDoSEvent& ev,
+                              std::vector<NssetAttackEvent>& out,
+                              JoinStats& stats,
+                              BaselineCache* baselines) const {
+  if (registry_.is_open_resolver(ev.victim)) {
+    ++stats.open_resolver_filtered;
+    return;
+  }
+  if (!registry_.is_ns_ip(ev.victim)) {
+    ++stats.non_dns;
+    return;
+  }
+  ++stats.dns_events;
+
+  const netsim::DayIndex day_before = ev.start_time().day() - 1;
+  if (!store_.ns_seen_on(ev.victim, day_before)) {
+    // The previous-day join (§4.2): a server never successfully queried
+    // the day before cannot be mapped to hosted domains.
+    ++stats.not_seen_day_before;
+    return;
+  }
+
+  for (const dns::NssetId nsset : registry_.nssets_containing(ev.victim)) {
+    NssetAttackEvent nae;
+    if (build_event(ev, nsset, nae, baselines)) {
+      out.push_back(std::move(nae));
+      ++stats.joined;
+    } else {
+      ++stats.below_measurement_floor;
+    }
+  }
+}
+
+std::vector<NssetAttackEvent> JoinPipeline::finalize(
+    std::vector<NssetAttackEvent> out, JoinStats stats) {
+  if (params_.merge_concurrent) {
+    out = merge_concurrent_events(std::move(out));
+    stats.joined = out.size();
+  }
+  stats_ = stats;
+  if (obs::Observer* o = obs::Observer::installed()) {
+    obs::PipelineMetrics& p = o->pipeline;
+    p.join_events_in.inc(stats_.total_events);
+    p.join_events_out.inc(stats_.joined);
+    p.join_open_resolver_filtered.inc(stats_.open_resolver_filtered);
+    p.join_non_dns.inc(stats_.non_dns);
+    p.join_not_seen_day_before.inc(stats_.not_seen_day_before);
+    p.join_below_floor.inc(stats_.below_measurement_floor);
+  }
+  return out;
+}
+
 std::vector<NssetAttackEvent> JoinPipeline::run(
     const std::vector<telescope::RSDoSEvent>& events) {
   obs::ScopedSpan span(obs::installed_tracer(), "join.run");
   span.set_items(events.size());
   std::vector<NssetAttackEvent> out;
-  stats_ = JoinStats{};
-  stats_.total_events = events.size();
+  JoinStats stats;
+  stats.total_events = events.size();
 
   // Per-event dispositions are independent const reads of the registry,
   // store, and classifier, so events shard across the pool; the ordered
@@ -130,35 +182,7 @@ std::vector<NssetAttackEvent> JoinPipeline::run(
         shard.joined.reserve(range.size());
         BaselineCache baselines;
         for (std::size_t i = range.begin; i < range.end; ++i) {
-          const auto& ev = events[i];
-          if (registry_.is_open_resolver(ev.victim)) {
-            ++shard.stats.open_resolver_filtered;
-            continue;
-          }
-          if (!registry_.is_ns_ip(ev.victim)) {
-            ++shard.stats.non_dns;
-            continue;
-          }
-          ++shard.stats.dns_events;
-
-          const netsim::DayIndex day_before = ev.start_time().day() - 1;
-          if (!store_.ns_seen_on(ev.victim, day_before)) {
-            // The previous-day join (§4.2): a server never successfully
-            // queried the day before cannot be mapped to hosted domains.
-            ++shard.stats.not_seen_day_before;
-            continue;
-          }
-
-          for (const dns::NssetId nsset :
-               registry_.nssets_containing(ev.victim)) {
-            NssetAttackEvent nae;
-            if (build_event(ev, nsset, nae, &baselines)) {
-              shard.joined.push_back(std::move(nae));
-              ++shard.stats.joined;
-            } else {
-              ++shard.stats.below_measurement_floor;
-            }
-          }
+          join_event(events[i], shard.joined, shard.stats, &baselines);
         }
         return shard;
       },
@@ -166,27 +190,14 @@ std::vector<NssetAttackEvent> JoinPipeline::run(
         out.insert(out.end(),
                    std::make_move_iterator(shard.joined.begin()),
                    std::make_move_iterator(shard.joined.end()));
-        stats_.open_resolver_filtered += shard.stats.open_resolver_filtered;
-        stats_.non_dns += shard.stats.non_dns;
-        stats_.dns_events += shard.stats.dns_events;
-        stats_.not_seen_day_before += shard.stats.not_seen_day_before;
-        stats_.below_measurement_floor += shard.stats.below_measurement_floor;
-        stats_.joined += shard.stats.joined;
+        stats.open_resolver_filtered += shard.stats.open_resolver_filtered;
+        stats.non_dns += shard.stats.non_dns;
+        stats.dns_events += shard.stats.dns_events;
+        stats.not_seen_day_before += shard.stats.not_seen_day_before;
+        stats.below_measurement_floor += shard.stats.below_measurement_floor;
+        stats.joined += shard.stats.joined;
       });
-  if (params_.merge_concurrent) {
-    out = merge_concurrent_events(std::move(out));
-    stats_.joined = out.size();
-  }
-  if (obs::Observer* o = obs::Observer::installed()) {
-    obs::PipelineMetrics& p = o->pipeline;
-    p.join_events_in.inc(stats_.total_events);
-    p.join_events_out.inc(stats_.joined);
-    p.join_open_resolver_filtered.inc(stats_.open_resolver_filtered);
-    p.join_non_dns.inc(stats_.non_dns);
-    p.join_not_seen_day_before.inc(stats_.not_seen_day_before);
-    p.join_below_floor.inc(stats_.below_measurement_floor);
-  }
-  return out;
+  return finalize(std::move(out), stats);
 }
 
 }  // namespace ddos::core

@@ -116,6 +116,23 @@ class JoinPipeline {
                    NssetAttackEvent& out,
                    BaselineCache* baselines = nullptr) const;
 
+  /// Dispose of ONE telescope event: classify the victim, previous-day
+  /// join, expand to NSSets, build the NSSet-events. Appends produced
+  /// events to `out` and bumps `stats` (total_events excepted — callers
+  /// own that tally). This is the shard-loop body of run(), shared with
+  /// the streaming driver so both paths run literally the same code.
+  void join_event(const telescope::RSDoSEvent& ev,
+                  std::vector<NssetAttackEvent>& out, JoinStats& stats,
+                  BaselineCache* baselines = nullptr) const;
+
+  /// Shared tail of run(): optional concurrent-event merge, final joined
+  /// count, stats publication and observer metrics. The streaming driver
+  /// assembles its event-ordered joined vector and summed stats, then
+  /// calls this — so merge semantics and accounting cannot drift between
+  /// the two paths.
+  std::vector<NssetAttackEvent> finalize(std::vector<NssetAttackEvent> out,
+                                         JoinStats stats);
+
  private:
   const dns::DnsRegistry& registry_;
   const openintel::MeasurementStore& store_;

@@ -1,0 +1,97 @@
+// Bounded MPSC channel — the queue that connects the streaming pipeline's
+// stages (scenario/driver.cpp). Semantics:
+//
+//   * push() blocks while the channel is at capacity (backpressure: a fast
+//     producer cannot run ahead of a slow consumer by more than `capacity`
+//     items, which is what bounds the streaming pipeline's memory);
+//   * pop() blocks while the channel is empty and returns std::nullopt
+//     only once the channel is closed AND drained, so a consumer loop is
+//     simply `while (auto item = ch.pop()) { ... }`;
+//   * close() wakes every waiter; push() after close returns false and
+//     drops the item (the shutdown-on-exception path: a dying consumer
+//     closes the channel and producers unwind instead of deadlocking).
+//
+// Determinism note: the channel carries *which* items exist, never their
+// meaning — stage outputs are pure functions of the item, so capacity and
+// scheduling affect wall-clock overlap only, not results.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ddos::exec {
+
+template <typename T>
+class Channel {
+ public:
+  /// Capacity 0 is clamped to 1 (a zero-slot channel could never move an
+  /// item with this two-phase design).
+  explicit Channel(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks until a slot frees up or the channel closes. Returns false —
+  /// with `value` dropped — when the channel was closed first.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives or the channel is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Idempotent. Producers see push() fail; consumers drain what is queued
+  /// and then see pop() return nullopt.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Items currently queued (the queue-depth gauge of the stream metrics).
+  std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ddos::exec

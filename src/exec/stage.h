@@ -1,0 +1,66 @@
+// Stage — a named pipeline-stage thread for the streaming driver. One
+// Stage owns one std::thread running one body; the body's exception (if
+// any) is captured and rethrown from join() on the wiring thread, so a
+// failing stage surfaces as a normal exception in run_longitudinal_streaming
+// instead of std::terminate. Bodies are expected to close their output
+// Channel on all exits (including unwinds) so downstream stages drain and
+// stop rather than deadlock.
+#pragma once
+
+#include <exception>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace ddos::exec {
+
+class Stage {
+ public:
+  /// Launches `body` on a fresh thread. `trace_depth` pins the stage's
+  /// spans to their own lane in the Chrome trace view (the worker pool
+  /// uses depth 2; stages sit above the workers at depth 1).
+  template <typename Body>
+  Stage(std::string name, Body body, std::uint32_t trace_depth = 1)
+      : name_(std::move(name)) {
+    thread_ = std::thread([this, body = std::move(body), trace_depth] {
+      obs::set_thread_span_depth(trace_depth);
+      try {
+        body();
+      } catch (...) {
+        error_ = std::current_exception();
+      }
+    });
+  }
+
+  Stage(const Stage&) = delete;
+  Stage& operator=(const Stage&) = delete;
+
+  /// Waits for the stage to finish and rethrows its exception, if any.
+  void join() {
+    if (thread_.joinable()) thread_.join();
+    if (error_) {
+      std::exception_ptr e = std::exchange(error_, nullptr);
+      std::rethrow_exception(e);
+    }
+  }
+
+  /// Joining destructor; a captured exception is swallowed here (call
+  /// join() first when the error matters — the driver always does).
+  ~Stage() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  const std::string& name() const { return name_; }
+  /// Only meaningful after the stage thread has been joined (error_ is
+  /// published by the join's happens-before edge, not by an atomic).
+  bool failed() const { return error_ != nullptr; }
+
+ private:
+  std::string name_;
+  std::thread thread_;
+  std::exception_ptr error_;
+};
+
+}  // namespace ddos::exec

@@ -39,7 +39,11 @@ PipelineMetrics::PipelineMetrics(MetricsRegistry& r)
       run_domains_planned(r.gauge("run.domains_planned")),
       run_store_measurements(r.gauge("run.store_measurements")),
       store_bytes_written(r.gauge("store.bytes_written")),
-      store_bytes_read(r.gauge("store.bytes_read")) {}
+      store_bytes_read(r.gauge("store.bytes_read")),
+      stream_plan_queue_depth(r.gauge("stream.plan_queue_depth")),
+      stream_sweep_queue_depth(r.gauge("stream.sweep_queue_depth")),
+      stream_retired_days(r.gauge("stream.retired_days")),
+      stream_watermark_day(r.gauge("stream.watermark_day")) {}
 
 Observer::Observer() : pipeline(metrics_) {}
 

@@ -68,6 +68,11 @@ struct PipelineMetrics {
   // scenario/driver.cpp — DRS dataset store I/O (generate/analyze split).
   Gauge& store_bytes_written;
   Gauge& store_bytes_read;
+  // scenario/driver.cpp — streaming day-epoch pipeline health.
+  Gauge& stream_plan_queue_depth;   // SweepTasks waiting for the sweep stage
+  Gauge& stream_sweep_queue_depth;  // swept days waiting for the fold/join
+  Gauge& stream_retired_days;       // day-epochs evicted from the store
+  Gauge& stream_watermark_day;      // earliest day a pending join still needs
 
   explicit PipelineMetrics(MetricsRegistry& registry);
 };

@@ -80,11 +80,54 @@ void MeasurementStore::finalize_day(
   const netsim::WindowIndex first = day * netsim::kWindowsPerDay;
   const netsim::WindowIndex last = first + netsim::kWindowsPerDay - 1;
   window_.erase_if([&](std::uint64_t key, const Aggregate&) {
-    const auto nsset = static_cast<dns::NssetId>(key >> 32);
-    const auto window =
-        static_cast<netsim::WindowIndex>(static_cast<std::uint32_t>(key));
-    return window >= first && window <= last && !keep(nsset, window);
+    const netsim::WindowIndex window = window_key_window(key);
+    return window >= first && window <= last && !keep(key_nsset(key), window);
   });
+}
+
+MeasurementStore::RetiredState MeasurementStore::retire_days_below(
+    netsim::DayIndex day) {
+  RetiredState out;
+  // Time-major keys make "every key of a day below `day`" a simple key
+  // comparison: the nsset occupies the low 32 bits, so the smallest key of
+  // day `day` (nsset 0) bounds all earlier days from above.
+  const std::uint64_t daily_limit = day_key(dns::NssetId{0}, day);
+  const std::uint64_t window_limit =
+      window_key(dns::NssetId{0}, day * netsim::kWindowsPerDay);
+
+  daily_.for_each([&](std::uint64_t key, const Aggregate& agg) {
+    if (key < daily_limit) out.daily.emplace_back(key, agg);
+  });
+  window_.for_each([&](std::uint64_t key, const Aggregate& agg) {
+    if (key < window_limit) out.window.emplace_back(key, agg);
+  });
+  ns_seen_.for_each([&](netsim::DayIndex d,
+                        const util::FlatSet<netsim::IPv4Addr>& ips) {
+    if (d < day) {
+      ips.for_each(
+          [&out, d](netsim::IPv4Addr ip) { out.ns_seen.emplace_back(d, ip); });
+    }
+  });
+  // for_each walks slot order (insertion-history dependent); sorting makes
+  // each retired chunk deterministic regardless of ingest interleaving.
+  const auto by_key = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(out.daily.begin(), out.daily.end(), by_key);
+  std::sort(out.window.begin(), out.window.end(), by_key);
+  std::sort(out.ns_seen.begin(), out.ns_seen.end());
+
+  daily_.erase_if([&](std::uint64_t key, const Aggregate&) {
+    return key < daily_limit;
+  });
+  window_.erase_if([&](std::uint64_t key, const Aggregate&) {
+    return key < window_limit;
+  });
+  ns_seen_.erase_if(
+      [&](netsim::DayIndex d, const util::FlatSet<netsim::IPv4Addr>&) {
+        return d < day;
+      });
+  return out;
 }
 
 std::vector<std::pair<std::uint64_t, Aggregate>>

@@ -236,16 +236,54 @@ class MeasurementStore {
                                        netsim::WindowIndex window) {
     return window_key(nsset, window);
   }
+  static dns::NssetId key_nsset(std::uint64_t key) {
+    return static_cast<dns::NssetId>(static_cast<std::uint32_t>(key));
+  }
+  static netsim::DayIndex day_key_day(std::uint64_t key) {
+    return static_cast<netsim::DayIndex>(
+               static_cast<std::uint32_t>(key >> 32)) -
+           kDayBias;
+  }
+  static netsim::WindowIndex window_key_window(std::uint64_t key) {
+    return static_cast<netsim::WindowIndex>(
+               static_cast<std::uint32_t>(key >> 32)) -
+           kDayBias * netsim::kWindowsPerDay;
+  }
+
+  /// Sorted rows of every day strictly below `day`, extracted for the
+  /// streaming pipeline's epoch retirement (scenario driver). Because the
+  /// map keys are time-major, each retired chunk — and the concatenation
+  /// of chunks across ascending retire calls — is in the same ascending
+  /// key order that sorted_daily()/sorted_window()/sorted_ns_seen() would
+  /// produce on a never-evicted store, which is what keeps the streamed
+  /// DRS file byte-identical to the materialized one.
+  struct RetiredState {
+    std::vector<std::pair<std::uint64_t, Aggregate>> daily;
+    std::vector<std::pair<std::uint64_t, Aggregate>> window;
+    std::vector<std::pair<netsim::DayIndex, netsim::IPv4Addr>> ns_seen;
+  };
+  RetiredState retire_days_below(netsim::DayIndex day);
 
  private:
+  // Map keys are time-major — (biased time) << 32 | nsset — so that
+  // ascending key order is ascending day/window order and day-window
+  // eviction can peel a sorted prefix. The bias keeps negative indices
+  // (the day −1 pre-study baseline) ordered under the unsigned cast;
+  // valid days are (−kDayBias, 2^32 − kDayBias), far beyond any timeline.
+  static constexpr netsim::DayIndex kDayBias = netsim::DayIndex{1} << 20;
+
   static std::uint64_t day_key(dns::NssetId nsset, netsim::DayIndex day) {
-    return (static_cast<std::uint64_t>(nsset) << 32) |
-           static_cast<std::uint32_t>(day);
+    return (static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(day + kDayBias))
+            << 32) |
+           static_cast<std::uint64_t>(nsset);
   }
   static std::uint64_t window_key(dns::NssetId nsset,
                                   netsim::WindowIndex window) {
-    return (static_cast<std::uint64_t>(nsset) << 32) |
-           static_cast<std::uint32_t>(window);
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                window + kDayBias * netsim::kWindowsPerDay))
+            << 32) |
+           static_cast<std::uint64_t>(nsset);
   }
 
   /// Fold the scratch's (hash-prefix, index) pairs into `table`, one

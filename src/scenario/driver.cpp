@@ -3,13 +3,20 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <optional>
+#include <span>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "exec/channel.h"
 #include "exec/pool.h"
+#include "exec/stage.h"
 #include "obs/obs.h"
 #include "store/dataset.h"
+#include "store/epoch.h"
 #include "store/reader.h"
 #include "store/writer.h"
 #include "util/flat_map.h"
@@ -34,42 +41,43 @@ LongitudinalConfig small_longitudinal_config(std::uint64_t seed) {
   return cfg;
 }
 
-LongitudinalResult run_longitudinal(const LongitudinalConfig& config) {
-  obs::Observer* observer = obs::Observer::installed();
-  obs::Tracer* tracer = observer ? &observer->tracer() : nullptr;
-  obs::ScopedSpan total(tracer, "run_longitudinal");
+namespace {
 
-  LongitudinalResult result;
+// Shared head of the materialized and streaming drivers: world + workload
+// into `result`. The telescope stage differs between the two (materialized
+// retains the record vector; streaming retires it shard by shard), so it
+// lives with each driver.
+void run_world_and_workload(const LongitudinalConfig& config,
+                            LongitudinalResult& result, obs::Tracer* tracer) {
   {
     obs::ScopedSpan span(tracer, "world.build");
     result.world = build_world(config.world);
     span.set_items(result.world->registry.domain_count());
   }
-  const World& world = *result.world;
-
   {
     obs::ScopedSpan span(tracer, "workload.generate");
-    result.workload = generate_workload(world, config.workload);
+    result.workload = generate_workload(*result.world, config.workload);
     span.set_items(result.workload.schedule.size());
   }
+}
 
-  // Telescope: observe backscatter, infer the feed, stitch events.
-  {
-    obs::ScopedSpan span(tracer, "telescope.infer");
-    result.feed = telescope::RSDoSFeed(config.inference, config.backscatter);
-    result.feed.ingest(result.workload.schedule, result.darknet,
-                       config.feed_seed);
-    result.events = result.feed.events();
-    span.set_items(result.events.size());
-  }
-
-  // ---- Derive sweep/retention sets from the inferred events.
-  std::optional<obs::ScopedSpan> plan_span;
-  plan_span.emplace(tracer, "sweep.plan");
+// Sweep/retention sets derived from the inferred events (the sparse sweep
+// of the header comment). The retention key sets use their own id-major
+// layout — (id << 32) | time — independent of the store's time-major map
+// keys; they are membership sets, never sorted or range-scanned.
+struct SweepPlan {
   util::FlatSet<std::uint64_t> daily_keys;    // (nsset, day)
   util::FlatSet<std::uint64_t> window_keys;   // (nsset, window)
   util::FlatSet<std::uint64_t> ns_seen_keys;  // (ip, day)
-  std::map<netsim::DayIndex, util::FlatSet<dns::DomainId>> sweep_plan;
+  std::map<netsim::DayIndex, util::FlatSet<dns::DomainId>> days;
+  std::uint64_t domains_planned = 0;
+};
+
+SweepPlan derive_sweep_plan(const World& world,
+                            const std::vector<telescope::RSDoSEvent>& events,
+                            obs::Tracer* tracer, obs::Observer* observer) {
+  obs::ScopedSpan plan_span(tracer, "sweep.plan");
+  SweepPlan plan;
 
   const auto daily_key = [](dns::NssetId nsset, netsim::DayIndex day) {
     return (static_cast<std::uint64_t>(nsset) << 32) |
@@ -84,65 +92,89 @@ LongitudinalResult run_longitudinal(const LongitudinalConfig& config) {
            static_cast<std::uint32_t>(day);
   };
 
-  for (const auto& ev : result.events) {
+  for (const auto& ev : events) {
     if (!world.registry.is_ns_ip(ev.victim)) continue;
     const netsim::DayIndex first_day = ev.start_time().day();
     const netsim::DayIndex last_day = (ev.end_time() - 1).day();
-    ns_seen_keys.insert(ns_key(ev.victim, first_day - 1));
+    plan.ns_seen_keys.insert(ns_key(ev.victim, first_day - 1));
     // Also retain the attack day's own sighting so the same-day-join
     // ablation measures the method, not the retention policy.
-    ns_seen_keys.insert(ns_key(ev.victim, first_day));
+    plan.ns_seen_keys.insert(ns_key(ev.victim, first_day));
     for (const dns::NssetId nsset :
          world.registry.nssets_containing(ev.victim)) {
-      daily_keys.insert(daily_key(nsset, first_day - 1));
+      plan.daily_keys.insert(daily_key(nsset, first_day - 1));
       for (netsim::WindowIndex w = ev.start_window; w <= ev.end_window; ++w) {
-        window_keys.insert(window_key(nsset, w));
+        plan.window_keys.insert(window_key(nsset, w));
       }
       const auto domains = world.registry.domains_of_nsset(nsset);
       for (netsim::DayIndex d = first_day - 1; d <= last_day; ++d) {
-        auto& day_set = sweep_plan[d];
+        auto& day_set = plan.days[d];
         for (const dns::DomainId dom : domains) day_set.insert(dom);
       }
     }
   }
 
-  // Key-set-backed retention, resolved at compile time in the batched fold
-  // loop (no std::function call per measurement — see
-  // MeasurementStore::add_batch).
-  struct PlanRetention {
-    const util::FlatSet<std::uint64_t>& daily_keys;
-    const util::FlatSet<std::uint64_t>& window_keys;
-    const util::FlatSet<std::uint64_t>& ns_seen_keys;
-
-    bool daily(dns::NssetId nsset, netsim::DayIndex day) const {
-      return daily_keys.contains((static_cast<std::uint64_t>(nsset) << 32) |
-                                 static_cast<std::uint32_t>(day));
-    }
-    bool window(dns::NssetId nsset, netsim::WindowIndex w) const {
-      return window_keys.contains((static_cast<std::uint64_t>(nsset) << 32) |
-                                  static_cast<std::uint32_t>(w));
-    }
-    bool ns_seen(netsim::IPv4Addr ip, netsim::DayIndex day) const {
-      return ns_seen_keys.contains(
-          (static_cast<std::uint64_t>(ip.value()) << 32) |
-          static_cast<std::uint32_t>(day));
-    }
-  };
-  const PlanRetention retention{daily_keys, window_keys, ns_seen_keys};
-
-  std::uint64_t domains_planned = 0;
-  for (const auto& [day, domains] : sweep_plan) {
-    domains_planned += domains.size();
+  for (const auto& [day, domains] : plan.days) {
+    plan.domains_planned += domains.size();
   }
-  if (plan_span) {
-    plan_span->set_items(domains_planned);
-    plan_span->arg("days", static_cast<std::int64_t>(sweep_plan.size()));
-  }
-  plan_span.reset();
+  plan_span.set_items(plan.domains_planned);
+  plan_span.arg("days", static_cast<std::int64_t>(plan.days.size()));
   if (observer) {
     observer->pipeline.run_domains_planned.set(
-        static_cast<double>(domains_planned));
+        static_cast<double>(plan.domains_planned));
   }
+  return plan;
+}
+
+// Key-set-backed retention, resolved at compile time in the batched fold
+// loop (no std::function call per measurement — see
+// MeasurementStore::add_batch).
+struct PlanRetention {
+  const util::FlatSet<std::uint64_t>& daily_keys;
+  const util::FlatSet<std::uint64_t>& window_keys;
+  const util::FlatSet<std::uint64_t>& ns_seen_keys;
+
+  bool daily(dns::NssetId nsset, netsim::DayIndex day) const {
+    return daily_keys.contains((static_cast<std::uint64_t>(nsset) << 32) |
+                               static_cast<std::uint32_t>(day));
+  }
+  bool window(dns::NssetId nsset, netsim::WindowIndex w) const {
+    return window_keys.contains((static_cast<std::uint64_t>(nsset) << 32) |
+                                static_cast<std::uint32_t>(w));
+  }
+  bool ns_seen(netsim::IPv4Addr ip, netsim::DayIndex day) const {
+    return ns_seen_keys.contains(
+        (static_cast<std::uint64_t>(ip.value()) << 32) |
+        static_cast<std::uint32_t>(day));
+  }
+};
+
+}  // namespace
+
+LongitudinalResult run_longitudinal(const LongitudinalConfig& config) {
+  obs::Observer* observer = obs::Observer::installed();
+  obs::Tracer* tracer = observer ? &observer->tracer() : nullptr;
+  obs::ScopedSpan total(tracer, "run_longitudinal");
+
+  LongitudinalResult result;
+  run_world_and_workload(config, result, tracer);
+  // Telescope: observe backscatter, infer the feed, stitch events.
+  {
+    obs::ScopedSpan span(tracer, "telescope.infer");
+    result.feed = telescope::RSDoSFeed(config.inference, config.backscatter);
+    result.feed.ingest(result.workload.schedule, result.darknet,
+                       config.feed_seed);
+    result.feed_records = result.feed.records().size();
+    result.events = result.feed.events();
+    span.set_items(result.events.size());
+  }
+  const World& world = *result.world;
+
+  const SweepPlan plan =
+      derive_sweep_plan(world, result.events, tracer, observer);
+  const PlanRetention retention{plan.daily_keys, plan.window_keys,
+                                plan.ns_seen_keys};
+  const auto& sweep_plan = plan.days;
 
   // ---- Sparse sweep.
   {
@@ -261,15 +293,12 @@ void check_count(const store::Reader& reader, const std::string& what,
   }
 }
 
-}  // namespace
-
-std::uint64_t save_run(const std::string& path,
-                       const LongitudinalConfig& config, unsigned threads,
-                       const LongitudinalResult& result) {
-  obs::Observer* observer = obs::Observer::installed();
-  obs::ScopedSpan span(observer ? &observer->tracer() : nullptr, "store.write");
-
-  store::Writer writer(path);
+// The provenance meta block, shared between save_run and the streaming
+// writer so the two paths can never emit different key sets or orders (the
+// footer serialises meta in insertion order, and CI compares the files
+// byte for byte).
+void write_provenance_meta(store::Writer& writer,
+                           const LongitudinalConfig& config, unsigned threads) {
   writer.add_meta("format.tool", "ddosrepro");
 
   const WorldParams& w = config.world;
@@ -316,17 +345,22 @@ std::uint64_t save_run(const std::string& path,
   writer.add_meta("run.sweep_seed", std::to_string(config.sweep_seed));
   writer.add_meta("run.feed_seed", std::to_string(config.feed_seed));
   writer.add_meta("run.threads", std::to_string(threads));
+}
 
-  writer.add_meta("result.attacks",
-                  std::to_string(result.workload.schedule.size()));
-  writer.add_meta("result.feed_records",
-                  std::to_string(result.feed.records().size()));
-  writer.add_meta("result.events", std::to_string(result.events.size()));
-  writer.add_meta("result.joined", std::to_string(result.joined.size()));
-  writer.add_meta("result.swept_measurements",
-                  std::to_string(result.swept_measurements));
+// Result/stat counts, written by save_run right after the provenance and
+// by the streaming writer at the end of the run; add_meta overwrites in
+// place for existing keys, so insertion position — not rewrite time —
+// fixes the footer order either way.
+void write_result_meta(store::Writer& writer, std::uint64_t attacks,
+                       std::uint64_t feed_records, std::uint64_t events,
+                       std::uint64_t joined, std::uint64_t swept,
+                       const core::JoinStats& js) {
+  writer.add_meta("result.attacks", std::to_string(attacks));
+  writer.add_meta("result.feed_records", std::to_string(feed_records));
+  writer.add_meta("result.events", std::to_string(events));
+  writer.add_meta("result.joined", std::to_string(joined));
+  writer.add_meta("result.swept_measurements", std::to_string(swept));
 
-  const core::JoinStats& js = result.join_stats;
   writer.add_meta("stats.total_events", std::to_string(js.total_events));
   writer.add_meta("stats.open_resolver_filtered",
                   std::to_string(js.open_resolver_filtered));
@@ -338,6 +372,22 @@ std::uint64_t save_run(const std::string& path,
   writer.add_meta("stats.no_baseline", std::to_string(js.no_baseline));
   writer.add_meta("stats.joined", std::to_string(js.joined));
   writer.add_meta("stats.dns_events", std::to_string(js.dns_events));
+}
+
+}  // namespace
+
+std::uint64_t save_run(const std::string& path,
+                       const LongitudinalConfig& config, unsigned threads,
+                       const LongitudinalResult& result) {
+  obs::Observer* observer = obs::Observer::installed();
+  obs::ScopedSpan span(observer ? &observer->tracer() : nullptr, "store.write");
+
+  store::Writer writer(path);
+  write_provenance_meta(writer, config, threads);
+  write_result_meta(writer, result.workload.schedule.size(),
+                    result.feed_records, result.events.size(),
+                    result.joined.size(), result.swept_measurements,
+                    result.join_stats);
 
   store::write_feed_records(writer, result.feed.records());
   store::write_measurements(writer, result.store);
@@ -350,6 +400,355 @@ std::uint64_t save_run(const std::string& path,
     observer->pipeline.store_bytes_written.set(static_cast<double>(bytes));
   }
   return bytes;
+}
+
+// ---- streaming day-epoch pipeline.
+
+namespace {
+
+/// One sweep-plan day queued to the sweep stage.
+struct SweepTask {
+  netsim::DayIndex day = 0;
+  std::vector<dns::DomainId> domains;  // sorted, from the plan's day set
+};
+
+/// One swept day's measurements, preserved as the sink-call batches in
+/// sink-call order so the fold stage replays the exact add_batch sequence
+/// the materialized driver performs.
+struct SweptDay {
+  netsim::DayIndex day = 0;
+  std::vector<std::vector<openintel::Measurement>> batches;
+};
+
+}  // namespace
+
+LongitudinalResult run_longitudinal_streaming(const LongitudinalConfig& config,
+                                              const StreamingOptions& options) {
+  if (options.window_days < 1) {
+    throw std::invalid_argument(
+        "streaming window_days must be >= 1 (day d's fold still feeds the "
+        "day-after join)");
+  }
+
+  obs::Observer* observer = obs::Observer::installed();
+  obs::Tracer* tracer = observer ? &observer->tracer() : nullptr;
+  obs::ScopedSpan total(tracer, "run_longitudinal_streaming");
+
+  LongitudinalResult result;
+  run_world_and_workload(config, result, tracer);
+
+  // Optional streaming DRS store, opened before the telescope stage so the
+  // feed columns stream straight from the ingest shards: provenance meta
+  // and feed blocks up front (save_run's block order starts with "feed"),
+  // aggregate columns appended per retired epoch, result meta + joined
+  // events at the end.
+  std::optional<store::Writer> writer;
+  std::optional<store::AggregateColumnsAppender> daily_columns;
+  std::optional<store::AggregateColumnsAppender> window_columns;
+  std::optional<store::NsSeenAppender> ns_seen_columns;
+  if (!options.store_path.empty()) {
+    writer.emplace(options.store_path);
+    write_provenance_meta(*writer, config, options.threads);
+    daily_columns.emplace("daily");
+    window_columns.emplace("window");
+    ns_seen_columns.emplace();
+  }
+
+  // Telescope: observe backscatter, infer the feed, stitch events — but
+  // retire each ingest shard's records the moment they are folded into the
+  // incremental stitcher (and the store's feed columns). The ordered shard
+  // reduction feeds the sink in records_ order, and EventStitcher::finish
+  // equals segment_events over the same multiset, so events, columns and
+  // counts are bit-identical to the materialized telescope block while
+  // peak memory stays bounded by the parallel region itself.
+  {
+    obs::ScopedSpan span(tracer, "telescope.infer");
+    result.feed = telescope::RSDoSFeed(config.inference, config.backscatter);
+    telescope::EventStitcher stitcher(config.inference);
+    std::optional<store::FeedColumnsAppender> feed_columns;
+    if (writer) feed_columns.emplace();
+    result.feed_records = result.feed.ingest_stream(
+        result.workload.schedule, result.darknet, config.feed_seed,
+        [&](std::vector<telescope::RSDoSRecord>&& records) {
+          for (const telescope::RSDoSRecord& rec : records) {
+            if (feed_columns) feed_columns->append(rec);
+            stitcher.add(rec);
+            if (options.retain_feed) result.feed.add_record(rec);
+          }
+        });
+    if (feed_columns) feed_columns->flush_to(*writer);
+    result.events = stitcher.finish();
+    span.set_items(result.events.size());
+  }
+  const World& world = *result.world;
+
+  const SweepPlan plan =
+      derive_sweep_plan(world, result.events, tracer, observer);
+  const PlanRetention retention{plan.daily_keys, plan.window_keys,
+                                plan.ns_seen_keys};
+  std::vector<netsim::DayIndex> plan_days;
+  plan_days.reserve(plan.days.size());
+  for (const auto& [day, domains] : plan.days) plan_days.push_back(day);
+
+  // Join readiness: an event's store reads — daily and ns_seen at
+  // first_day-1, ns_seen at first_day, windows across the attack — are all
+  // for days <= its last attacked day, and day-d sweeps only write day-d
+  // state. So once every plan day <= D is folded, every event with
+  // last day <= D joins finally. ready_order lists events by (last day,
+  // canonical index); min_first_read[i] is the earliest day any event from
+  // position i on still reads (a suffix-min of first_day-1), which is the
+  // retirement watermark once the cursor passes the joined prefix.
+  constexpr netsim::DayIndex kNoPendingReads =
+      std::numeric_limits<netsim::DayIndex>::max();
+  std::vector<std::pair<netsim::DayIndex, std::uint32_t>> ready_order;
+  ready_order.reserve(result.events.size());
+  for (const auto& batch : telescope::group_events_by_day(result.events)) {
+    for (const std::uint32_t idx : batch.event_indices) {
+      ready_order.emplace_back(batch.day, idx);
+    }
+  }
+  std::vector<netsim::DayIndex> min_first_read(ready_order.size() + 1,
+                                               kNoPendingReads);
+  for (std::size_t i = ready_order.size(); i-- > 0;) {
+    const auto& ev = result.events[ready_order[i].second];
+    min_first_read[i] =
+        std::min(min_first_read[i + 1], ev.start_time().day() - 1);
+  }
+
+  // Per-event output slots, concatenated in canonical order at the end —
+  // the same assembly the materialized run's ordered reduction performs.
+  const core::ResilienceClassifier classifier(world.registry, world.census,
+                                              world.routes, world.orgs);
+  core::JoinPipeline pipeline(world.registry, result.store, classifier,
+                              config.join);
+  std::vector<std::vector<core::NssetAttackEvent>> slots(result.events.size());
+  core::JoinStats stats;
+  stats.total_events = result.events.size();
+  core::JoinPipeline::BaselineCache baselines;
+  std::size_t next_ready = 0;
+
+  const auto join_ready_through = [&](netsim::DayIndex day) {
+    while (next_ready < ready_order.size() &&
+           ready_order[next_ready].first <= day) {
+      const std::uint32_t idx = ready_order[next_ready].second;
+      pipeline.join_event(result.events[idx], slots[idx], stats, &baselines);
+      ++next_ready;
+    }
+  };
+
+  // Retirement: evict (and, when persisting, append to the store columns)
+  // every day strictly below min(watermark, d - window_days + 1). The
+  // watermark alone guarantees no pending join loses data; window_days
+  // only delays eviction, so any value >= 1 yields identical output.
+  netsim::DayIndex last_threshold = std::numeric_limits<netsim::DayIndex>::min();
+  std::size_t retired_days = 0;
+  const auto retire_epochs = [&](netsim::DayIndex threshold) {
+    if (threshold <= last_threshold) return;
+    last_threshold = threshold;
+    const auto retired = result.store.retire_days_below(threshold);
+    if (writer) {
+      for (const auto& [key, agg] : retired.daily) {
+        daily_columns->append(key, agg);
+      }
+      for (const auto& [key, agg] : retired.window) {
+        window_columns->append(key, agg);
+      }
+      for (const auto& [day, ip] : retired.ns_seen) {
+        ns_seen_columns->append(day, ip);
+      }
+    }
+    while (retired_days < plan_days.size() &&
+           plan_days[retired_days] < threshold) {
+      ++retired_days;
+    }
+    if (observer) {
+      observer->pipeline.stream_retired_days.set(
+          static_cast<double>(retired_days));
+    }
+  };
+
+  // ---- Stage wiring. Three stages connected by bounded channels:
+  //
+  //   plan producer --SweepTask--> sweep stage --SweptDay--> fold/join
+  //
+  // The sweep stage is the only thread driving the worker pool (one
+  // parallel region at a time); the fold/join consumer runs here on the
+  // calling thread so the store, join state and writer stay single-
+  // threaded. Every stage closes its output channel on all exits —
+  // including unwinds — so a dying stage drains the others instead of
+  // deadlocking them; Stage::join() then rethrows the original error.
+  exec::Channel<SweepTask> task_channel(options.channel_capacity);
+  exec::Channel<SweptDay> swept_channel(options.channel_capacity);
+
+  exec::Stage plan_stage("stream.plan", [&] {
+    try {
+      obs::ScopedSpan span(tracer, "stream.plan");
+      for (const auto& [day, domains] : plan.days) {
+        SweepTask task;
+        task.day = day;
+        task.domains = domains.sorted_keys();
+        if (!task_channel.push(std::move(task))) break;  // consumer died
+      }
+    } catch (...) {
+      task_channel.close();
+      throw;
+    }
+    task_channel.close();
+  });
+
+  openintel::SweeperParams sp;
+  sp.resolver = config.resolver;
+  sp.model = config.model;
+  sp.seed = config.sweep_seed;
+  const openintel::Sweeper sweeper(world.registry, result.workload.schedule,
+                                   sp);
+  exec::Stage sweep_stage("stream.sweep", [&] {
+    try {
+      obs::ScopedSpan span(tracer, "stream.sweep");
+      std::uint64_t swept = 0;
+      while (auto task = task_channel.pop()) {
+        obs::ScopedSpan day_span(tracer, "sweep.day");
+        day_span.arg("day", static_cast<std::int64_t>(task->day));
+        day_span.set_items(task->domains.size());
+        SweptDay out;
+        out.day = task->day;
+        // Parallel across domains within the day; the batch sink runs on
+        // this thread in shard (= domain) order, so replaying the batches
+        // in order downstream folds the store bit-identically to the
+        // materialized driver's in-place add_batch calls.
+        sweeper.sweep_domains_batched(
+            task->day, task->domains, exec::global_pool(),
+            [&out](std::span<const openintel::Measurement> batch) {
+              out.batches.emplace_back(batch.begin(), batch.end());
+            });
+        for (const auto& batch : out.batches) swept += batch.size();
+        if (!swept_channel.push(std::move(out))) break;  // consumer died
+      }
+      span.set_items(swept);
+    } catch (...) {
+      task_channel.close();  // unblock the producer's push
+      swept_channel.close();
+      throw;
+    }
+    swept_channel.close();
+  });
+
+  // ---- Fold/join consumer (this thread).
+  const std::uint64_t days_total = plan_days.size();
+  std::uint64_t days_done = 0;
+  try {
+    obs::ScopedSpan fold_span(tracer, "stream.fold");
+    // Events whose last day precedes the first plan day read nothing the
+    // sweep will ever write; join them against the empty store up front.
+    join_ready_through((plan_days.empty() ? kNoPendingReads
+                                          : plan_days.front()) -
+                       1);
+    while (auto day = swept_channel.pop()) {
+      for (const auto& batch : day->batches) {
+        result.store.add_batch(
+            std::span<const openintel::Measurement>(batch), retention);
+        result.swept_measurements += batch.size();
+      }
+      ++days_done;
+      const netsim::DayIndex next_plan_day =
+          days_done < plan_days.size() ? plan_days[days_done]
+                                       : kNoPendingReads;
+      join_ready_through(next_plan_day - 1);
+
+      const netsim::DayIndex watermark = min_first_read[next_ready];
+      retire_epochs(
+          std::min(watermark, day->day - options.window_days + 1));
+
+      if (observer) {
+        observer->pipeline.run_days_swept.set(static_cast<double>(days_done));
+        observer->pipeline.stream_plan_queue_depth.set(
+            static_cast<double>(task_channel.depth()));
+        observer->pipeline.stream_sweep_queue_depth.set(
+            static_cast<double>(swept_channel.depth()));
+        observer->pipeline.stream_watermark_day.set(static_cast<double>(
+            watermark == kNoPendingReads ? day->day : watermark));
+        obs::ProgressEvent progress;
+        progress.stage = "sweep";
+        progress.day = day->day;
+        progress.days_done = days_done;
+        progress.days_total = days_total;
+        progress.measurements = result.swept_measurements;
+        progress.events = result.events.size();
+        const double elapsed_s =
+            static_cast<double>(total.elapsed_ns()) / 1e9;
+        progress.sweep_rate_per_s =
+            elapsed_s > 0.0
+                ? static_cast<double>(result.swept_measurements) / elapsed_s
+                : 0.0;
+        observer->emit_progress(progress, days_done == days_total);
+      }
+    }
+    fold_span.set_items(result.swept_measurements);
+  } catch (...) {
+    // Unblock both stages before unwinding (the Stage destructors join).
+    task_channel.close();
+    swept_channel.close();
+    throw;
+  }
+  plan_stage.join();   // rethrows a producer failure
+  sweep_stage.join();  // rethrows a sweep failure
+  if (observer) {
+    observer->pipeline.run_store_measurements.set(
+        static_cast<double>(result.swept_measurements));
+  }
+
+  // Final drain: every plan day is folded, so everything left is ready,
+  // and afterwards nothing pins any epoch — retire the whole remnant
+  // (sweeps only write plan days, so last plan day + 1 clears the store).
+  join_ready_through(kNoPendingReads - 1);
+  if (!plan_days.empty()) retire_epochs(plan_days.back() + 1);
+
+  // Assemble per-event slots in canonical order — byte-for-byte the
+  // ordered reduction of the materialized join — then run the shared
+  // merge/stats tail.
+  {
+    obs::ScopedSpan span(tracer, "join");
+    std::size_t total_out = 0;
+    for (const auto& slot : slots) total_out += slot.size();
+    std::vector<core::NssetAttackEvent> assembled;
+    assembled.reserve(total_out);
+    for (auto& slot : slots) {
+      for (auto& ev : slot) assembled.push_back(std::move(ev));
+    }
+    result.joined = pipeline.finalize(std::move(assembled), stats);
+    result.join_stats = pipeline.stats();
+    span.set_items(result.joined.size());
+  }
+  if (observer) {
+    obs::ProgressEvent progress;
+    progress.stage = "join";
+    progress.days_done = days_total;
+    progress.days_total = days_total;
+    progress.measurements = result.swept_measurements;
+    progress.events = result.events.size();
+    progress.joined = result.joined.size();
+    observer->emit_progress(progress, /*force=*/true);
+  }
+
+  if (writer) {
+    obs::ScopedSpan span(tracer, "store.write");
+    daily_columns->flush_to(*writer);
+    window_columns->flush_to(*writer);
+    ns_seen_columns->flush_to(*writer);
+    store::write_joined_events(*writer, result.joined);
+    write_result_meta(*writer, result.workload.schedule.size(),
+                      result.feed_records, result.events.size(),
+                      result.joined.size(), result.swept_measurements,
+                      result.join_stats);
+    writer->finish();
+    result.store_bytes = writer->bytes_written();
+    span.set_items(writer->column_count());
+    if (observer) {
+      observer->pipeline.store_bytes_written.set(
+          static_cast<double>(result.store_bytes));
+    }
+  }
+  return result;
 }
 
 StoredRun load_run(const std::string& path) {
@@ -427,8 +826,9 @@ StoredRun load_run(const std::string& path) {
 
   run.feed = telescope::RSDoSFeed(cfg.inference, cfg.backscatter);
   run.feed.set_records(store::read_feed_records(reader));
+  run.feed_records = run.feed.records().size();
   check_count(reader, "feed record", meta_u64(reader, "result.feed_records"),
-              run.feed.records().size());
+              run.feed_records);
 
   // Stitched events are not stored: they are a deterministic function of
   // the records + inference params, so re-deriving them is both cheaper

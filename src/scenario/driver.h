@@ -45,12 +45,19 @@ LongitudinalConfig default_longitudinal_config();
 /// Fast preset for unit/integration tests.
 LongitudinalConfig small_longitudinal_config(std::uint64_t seed = 7);
 
-struct LongitudinalResult {
-  std::unique_ptr<World> world;
-  Workload workload;
+/// The pipeline's data artifacts — everything the analyses and the DRS
+/// persistence consume. One struct shared (as a base) by a live run
+/// (LongitudinalResult) and a loaded store (StoredRun) so the two can
+/// never drift apart field-by-field.
+struct RunArtifacts {
   telescope::Darknet darknet = telescope::Darknet::ucsd_like();
   telescope::RSDoSFeed feed{telescope::InferenceParams{},
                             attack::BackscatterModelParams{}};
+  /// Records the telescope inferred. Streaming runs retire the record
+  /// vector shard by shard (feed.records() stays empty unless
+  /// StreamingOptions::retain_feed), so counts must come from here, not
+  /// from feed.records().size().
+  std::uint64_t feed_records = 0;
   std::vector<telescope::RSDoSEvent> events;  // stitched telescope events
   openintel::MeasurementStore store;
   std::vector<core::NssetAttackEvent> joined;
@@ -58,7 +65,51 @@ struct LongitudinalResult {
   std::uint64_t swept_measurements = 0;
 };
 
+struct LongitudinalResult : RunArtifacts {
+  std::unique_ptr<World> world;
+  Workload workload;
+  /// Bytes written to StreamingOptions::store_path (streaming runs that
+  /// persist a store only; materialized runs persist via save_run).
+  std::uint64_t store_bytes = 0;
+};
+
 LongitudinalResult run_longitudinal(const LongitudinalConfig& config);
+
+// ---- streaming day-epoch pipeline.
+//
+// Same pipeline, bounded memory: the sweep plan's days flow through
+// exec::Channel-connected stages (plan producer -> sweep -> fold/join),
+// each event joins as soon as the last day it reads has been folded, and
+// the MeasurementStore retires every day no pending join can still need
+// (the join only ever reads day d-1 baselines, attack-window days, and
+// the previous-day seen-NS sets). Epoch boundaries are pure functions of
+// the day index, so the output — joined events, join stats, the store
+// remnant, and an optional DRS file — is bit-identical to
+// run_longitudinal at any thread count and any channel capacity.
+
+struct StreamingOptions {
+  /// Days of folded state kept beyond the join watermark before eviction
+  /// (>= 1; more window only delays retirement, never changes output).
+  netsim::DayIndex window_days = 2;
+  /// Bounded capacity of each inter-stage channel (clamped to >= 1).
+  std::size_t channel_capacity = 4;
+  /// When non-empty, stream a save_run-equivalent DRS store to this path
+  /// (columns appended per retired epoch — the full store never
+  /// materialises in memory).
+  std::string store_path;
+  /// Recorded as the run.threads provenance meta when store_path is set
+  /// (save_run takes the same value as a parameter).
+  unsigned threads = 0;
+  /// Keep the full record vector in result.feed (needed by --feed-csv).
+  /// Off by default: each ingest shard's records are folded into the
+  /// incremental event stitcher (and the DRS feed columns, when
+  /// persisting) and released, so peak memory stays bounded by one
+  /// parallel region's shard output instead of the whole feed.
+  bool retain_feed = false;
+};
+
+LongitudinalResult run_longitudinal_streaming(const LongitudinalConfig& config,
+                                              const StreamingOptions& options);
 
 // ---- generate/analyze stage split (DRS dataset store, src/store/).
 //
@@ -72,7 +123,7 @@ LongitudinalResult run_longitudinal(const LongitudinalConfig& config);
 // aggregates to assert the store reproduces the generating run
 // bit-for-bit.
 
-struct StoredRun {
+struct StoredRun : RunArtifacts {
   /// Provenance-restored config: world, workload seed/scale knobs,
   /// inference, join and sweep/feed seeds. Model/resolver params stay at
   /// defaults (the CLI cannot change them); rejoin_from_store's equality
@@ -80,13 +131,6 @@ struct StoredRun {
   LongitudinalConfig config;
   unsigned threads = 0;            // generating run's worker count
   std::uint64_t attacks = 0;       // generating workload size
-  std::uint64_t swept_measurements = 0;
-  core::JoinStats join_stats;
-  telescope::RSDoSFeed feed{telescope::InferenceParams{},
-                            attack::BackscatterModelParams{}};
-  std::vector<telescope::RSDoSEvent> events;  // re-stitched from the feed
-  openintel::MeasurementStore store;
-  std::vector<core::NssetAttackEvent> joined;
 };
 
 /// Write `result` (+ provenance) as a DRS store. Returns bytes written;

@@ -40,7 +40,13 @@ class StoreError : public std::runtime_error {
 };
 
 inline constexpr std::uint32_t kMagic = 0x31535244u;  // "DRS1" little-endian
-inline constexpr std::uint32_t kFormatVersion = 1;
+// Version history:
+//   1  initial layout; measurement keys were (nsset << 32 | time).
+//   2  measurement keys flipped to time-major (biased time << 32 | nsset)
+//      so sorted-key order is day order and streamed epoch retirement can
+//      append sorted chunks. v1 stores would silently mis-join if read
+//      with the new layout, hence the bump.
+inline constexpr std::uint32_t kFormatVersion = 2;
 inline constexpr std::size_t kHeaderSize = 16;
 inline constexpr std::size_t kTrailerSize = 16;
 

@@ -41,6 +41,15 @@ class Writer {
   void add_strings(std::string_view dataset, std::string_view column,
                    std::span<const std::string> values);
 
+  /// Append a block whose payload was encoded incrementally elsewhere
+  /// (store::EpochAppender builds payloads across streaming epochs). The
+  /// caller vouches that `payload` is a valid encoding of `rows` rows.
+  void add_encoded(std::string_view dataset, std::string_view column,
+                   ColumnType type, Encoding encoding, std::uint64_t rows,
+                   const std::string& payload) {
+    append_block(dataset, column, type, encoding, rows, payload);
+  }
+
   /// Write footer + trailer and flush. Returns stream health; the writer
   /// accepts no further columns afterwards.
   bool finish();

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <unordered_set>
 #include <utility>
@@ -33,6 +34,19 @@ class RSDoSFeed {
   void ingest(const attack::AttackSchedule& schedule, const Darknet& darknet,
               std::uint64_t seed);
 
+  /// Streaming ingest: instead of retaining the records, hand each
+  /// parallel shard's batch to `sink` — in deterministic shard order, so
+  /// concatenating the batches reproduces exactly what ingest() would have
+  /// appended to records(). The records are moved out and released as soon
+  /// as the sink returns, which is what bounds the streaming driver's
+  /// memory: the sink folds them into the incremental event stitcher and
+  /// the DRS feed columns, never a full vector. Returns the record count;
+  /// identical observer metrics to ingest().
+  std::size_t ingest_stream(
+      const attack::AttackSchedule& schedule, const Darknet& darknet,
+      std::uint64_t seed,
+      const std::function<void(std::vector<RSDoSRecord>&&)>& sink);
+
   /// Append a pre-built record (tests / replays).
   void add_record(const RSDoSRecord& record) { records_.push_back(record); }
 
@@ -45,6 +59,13 @@ class RSDoSFeed {
 
   /// Stitched per-victim events (recomputed on call).
   std::vector<RSDoSEvent> events() const;
+
+  /// The stitched events as per-day batches (grouped by last attacked
+  /// day), the unit the streaming driver consumes — indices reference the
+  /// events() vector so the canonical order survives day-wise processing.
+  std::vector<DayEventBatch> day_batches() const {
+    return group_events_by_day(events());
+  }
 
   /// Table-1 style totals. `origin_of` maps a victim IP to its origin AS
   /// (0 = unrouted, excluded from the AS count).

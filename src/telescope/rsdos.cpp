@@ -1,6 +1,8 @@
 #include "telescope/rsdos.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <tuple>
 
 #include "util/strings.h"
 
@@ -65,13 +67,20 @@ RSDoSRecord to_record(const attack::BackscatterWindow& bw) {
   return rec;
 }
 
+bool record_less(const RSDoSRecord& a, const RSDoSRecord& b) {
+  if (a.victim != b.victim) return a.victim < b.victim;
+  if (a.window != b.window) return a.window < b.window;
+  const auto tail = [](const RSDoSRecord& r) {
+    return std::make_tuple(r.distinct_slash16,
+                           static_cast<std::uint8_t>(r.protocol), r.first_port,
+                           r.unique_ports, r.packets, r.max_ppm);
+  };
+  return tail(a) < tail(b);
+}
+
 std::vector<RSDoSEvent> segment_events(std::vector<RSDoSRecord> records,
                                        const InferenceParams& params) {
-  std::sort(records.begin(), records.end(),
-            [](const RSDoSRecord& a, const RSDoSRecord& b) {
-              if (a.victim != b.victim) return a.victim < b.victim;
-              return a.window < b.window;
-            });
+  std::sort(records.begin(), records.end(), record_less);
   std::vector<RSDoSEvent> events;
   for (std::size_t i = 0; i < records.size();) {
     const RSDoSRecord& first = records[i];
@@ -100,6 +109,97 @@ std::vector<RSDoSEvent> segment_events(std::vector<RSDoSRecord> records,
     i = j;
   }
   return events;
+}
+
+void EventStitcher::add(const RSDoSRecord& record) {
+  ++records_added_;
+  const netsim::WindowIndex reach =
+      static_cast<netsim::WindowIndex>(params_.max_gap_windows) + 1;
+  std::vector<Run>& runs = victims_[record.victim.value()];
+
+  Run single;
+  single.head = record;
+  single.start = single.end = record.window;
+  single.max_ppm = record.max_ppm;
+  single.total_packets = record.packets;
+  single.max_slash16 = record.distinct_slash16;
+  single.max_unique_ports = record.unique_ports;
+
+  // Insert after the last run whose start <= record.window, then merge
+  // with the neighbours the new window now bridges. Runs are separated by
+  // gaps > reach, so at most one merge per side can fire: merging left
+  // extends end to at most max(left.end, window), and the run past the
+  // right neighbour stays > reach away from the right neighbour's end.
+  const auto pos = std::upper_bound(
+      runs.begin(), runs.end(), record.window,
+      [](netsim::WindowIndex w, const Run& r) { return w < r.start; });
+  std::size_t i = static_cast<std::size_t>(pos - runs.begin());
+  runs.insert(pos, single);
+
+  const auto merge_into = [&](std::size_t left) {
+    Run& a = runs[left];
+    const Run& b = runs[left + 1];
+    if (record_less(b.head, a.head)) a.head = b.head;
+    a.start = std::min(a.start, b.start);
+    a.end = std::max(a.end, b.end);
+    a.max_ppm = std::max(a.max_ppm, b.max_ppm);
+    a.total_packets += b.total_packets;
+    a.max_slash16 = std::max(a.max_slash16, b.max_slash16);
+    a.max_unique_ports = std::max(a.max_unique_ports, b.max_unique_ports);
+    runs.erase(runs.begin() + static_cast<std::ptrdiff_t>(left) + 1);
+  };
+  if (i > 0 && runs[i].start - runs[i - 1].end <= reach) {
+    merge_into(--i);
+  }
+  if (i + 1 < runs.size() && runs[i + 1].start - runs[i].end <= reach) {
+    merge_into(i);
+  }
+}
+
+std::vector<RSDoSEvent> EventStitcher::finish() const {
+  std::vector<std::uint32_t> victims;
+  victims.reserve(victims_.size());
+  for (const auto& [victim, runs] : victims_) victims.push_back(victim);
+  std::sort(victims.begin(), victims.end());
+
+  std::vector<RSDoSEvent> events;
+  for (const std::uint32_t victim : victims) {
+    for (const Run& run : victims_.at(victim)) {
+      RSDoSEvent ev;
+      ev.victim = netsim::IPv4Addr(victim);
+      ev.start_window = run.start;
+      ev.end_window = run.end;
+      ev.max_ppm = run.max_ppm;
+      ev.total_packets = run.total_packets;
+      ev.max_slash16 = run.max_slash16;
+      ev.protocol = run.head.protocol;
+      ev.first_port = run.head.first_port;
+      ev.max_unique_ports = run.max_unique_ports;
+      events.push_back(ev);
+    }
+  }
+  return events;
+}
+
+std::vector<DayEventBatch> group_events_by_day(
+    const std::vector<RSDoSEvent>& events) {
+  std::vector<std::pair<netsim::DayIndex, std::uint32_t>> keyed;
+  keyed.reserve(events.size());
+  for (std::uint32_t i = 0; i < events.size(); ++i) {
+    keyed.emplace_back((events[i].end_time() - 1).day(), i);
+  }
+  // Pairs sort by (day, index): within a day the canonical event order is
+  // preserved without needing a stable sort.
+  std::sort(keyed.begin(), keyed.end());
+
+  std::vector<DayEventBatch> batches;
+  for (const auto& [day, idx] : keyed) {
+    if (batches.empty() || batches.back().day != day) {
+      batches.push_back(DayEventBatch{day, {}});
+    }
+    batches.back().event_indices.push_back(idx);
+  }
+  return batches;
 }
 
 }  // namespace ddos::telescope

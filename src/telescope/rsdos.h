@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "attack/backscatter.h"
@@ -87,8 +88,74 @@ struct RSDoSEvent {
   friend bool operator==(const RSDoSEvent&, const RSDoSEvent&) = default;
 };
 
+/// Total order on feed records: (victim, window) first — the canonical
+/// event order — then every remaining field as a tie-break. Two attacks
+/// can hit one victim in the same window (victim reuse), and the stitched
+/// event's protocol/first_port come from the run's first record, so the
+/// sort must not leave that choice to the sort algorithm: under a total
+/// order, batch segmentation and the incremental stitcher pick the same
+/// head record no matter how the input was produced.
+bool record_less(const RSDoSRecord& a, const RSDoSRecord& b);
+
 /// Stitch per-window records (any order) into events per victim.
 std::vector<RSDoSEvent> segment_events(std::vector<RSDoSRecord> records,
                                        const InferenceParams& params);
+
+/// Incremental event stitcher: accepts records one at a time in any order
+/// and, on finish(), yields exactly segment_events' output — without ever
+/// holding the record vector. Per victim it maintains disjoint runs
+/// (adjacent runs separated by more than max_gap_windows+1 windows); a new
+/// record inserts as a singleton run and merges with at most one neighbour
+/// on each side. Each run keeps only the record_less-minimal record (the
+/// head, which supplies protocol/first_port) plus order-independent folds
+/// (max_ppm, total_packets, max_slash16, max_unique_ports), so memory is
+/// O(events), not O(records). This is what lets the streaming driver
+/// retire feed records shard by shard.
+class EventStitcher {
+ public:
+  explicit EventStitcher(const InferenceParams& params) : params_(params) {}
+
+  void add(const RSDoSRecord& record);
+
+  /// Events in canonical (victim, start_window) order — bit-identical to
+  /// segment_events over the same record multiset.
+  std::vector<RSDoSEvent> finish() const;
+
+  std::uint64_t records_added() const { return records_added_; }
+
+ private:
+  struct Run {
+    RSDoSRecord head;  // record_less-min of the run: protocol/first_port
+    netsim::WindowIndex start = 0;
+    netsim::WindowIndex end = 0;
+    double max_ppm = 0.0;
+    std::uint64_t total_packets = 0;
+    std::uint32_t max_slash16 = 0;
+    std::uint16_t max_unique_ports = 1;
+  };
+
+  InferenceParams params_;
+  std::uint64_t records_added_ = 0;
+  // Keyed by victim address value; run vectors stay sorted by start with
+  // gaps > max_gap_windows+1 between neighbours.
+  std::unordered_map<std::uint32_t, std::vector<Run>> victims_;
+};
+
+/// One day-epoch's worth of stitched events, identified by index into the
+/// canonical (victim, start_window)-ordered event vector rather than by
+/// copies — downstream consumers (the streaming join) must preserve the
+/// canonical order even though they process day by day.
+struct DayEventBatch {
+  /// Last attacked day, (end_time()-1).day(): the epoch after which every
+  /// measurement-store read of the event's join is final (the join reads
+  /// day first_day-1 baselines and the attack windows, all <= this day).
+  netsim::DayIndex day = 0;
+  std::vector<std::uint32_t> event_indices;  // ascending, into the vector
+};
+
+/// Bucket stitched events by last attacked day, batches in ascending day
+/// order, indices within a batch in canonical event order.
+std::vector<DayEventBatch> group_events_by_day(
+    const std::vector<RSDoSEvent>& events);
 
 }  // namespace ddos::telescope

@@ -1,0 +1,166 @@
+// Tests for exec::Channel / exec::Stage — the bounded MPSC queue and the
+// stage-thread runner connecting the streaming pipeline (scenario driver).
+// The properties under test are the ones the driver leans on: FIFO order,
+// backpressure at the capacity bound, close() as the shutdown signal on
+// both ends, and exceptions crossing a Stage via join(). This file runs in
+// the ThreadSanitizer CI job, so the hammer tests double as race checks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/channel.h"
+#include "exec/stage.h"
+
+using namespace ddos;
+
+namespace {
+
+TEST(Channel, FifoSingleProducer) {
+  exec::Channel<int> ch(4);
+  EXPECT_EQ(ch.capacity(), 4u);
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) ASSERT_TRUE(ch.push(i));
+    ch.close();
+  });
+  int expected = 0;
+  while (auto item = ch.pop()) {
+    EXPECT_EQ(*item, expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, 100);
+  producer.join();
+}
+
+TEST(Channel, CapacityZeroClampsToOne) {
+  exec::Channel<int> ch(0);
+  EXPECT_EQ(ch.capacity(), 1u);
+  EXPECT_TRUE(ch.push(7));
+  EXPECT_EQ(ch.depth(), 1u);
+  EXPECT_EQ(ch.pop().value(), 7);
+}
+
+TEST(Channel, PushAfterCloseFailsAndPopDrains) {
+  exec::Channel<int> ch(8);
+  EXPECT_TRUE(ch.push(1));
+  EXPECT_TRUE(ch.push(2));
+  ch.close();
+  ch.close();  // idempotent
+  EXPECT_TRUE(ch.closed());
+  EXPECT_FALSE(ch.push(3));  // dropped
+  EXPECT_EQ(ch.pop().value(), 1);
+  EXPECT_EQ(ch.pop().value(), 2);
+  EXPECT_FALSE(ch.pop().has_value());  // closed and drained
+}
+
+// Backpressure: with the consumer stalled, exactly `capacity` pushes land
+// and the next one blocks until a pop frees a slot.
+TEST(Channel, BoundedCapacityBackpressure) {
+  exec::Channel<int> ch(3);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(ch.push(i));
+  EXPECT_EQ(ch.depth(), 3u);
+
+  std::atomic<bool> fourth_done{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(ch.push(3));  // blocks until the consumer pops
+    fourth_done.store(true);
+  });
+  // The producer cannot have completed while the channel is full. (A
+  // sleep cannot prove blocking, but TSan + the depth bound below make a
+  // broken wait loud.)
+  EXPECT_EQ(ch.pop().value(), 0);
+  producer.join();
+  EXPECT_TRUE(fourth_done.load());
+  EXPECT_EQ(ch.depth(), 3u);  // 1,2,3 queued — never above capacity
+  EXPECT_EQ(ch.pop().value(), 1);
+  EXPECT_EQ(ch.pop().value(), 2);
+  EXPECT_EQ(ch.pop().value(), 3);
+}
+
+// MPSC hammer: several producers racing into one bounded channel, one
+// consumer draining. Every item must arrive exactly once, and the depth
+// observed by the consumer must never exceed the capacity.
+TEST(Channel, MultiProducerHammer) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  exec::Channel<std::uint64_t> ch(8);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(ch.push(static_cast<std::uint64_t>(p) * kPerProducer + i));
+      }
+    });
+  }
+  std::thread closer([&] {
+    for (auto& t : producers) t.join();
+    ch.close();
+  });
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  while (auto item = ch.pop()) {
+    EXPECT_LE(ch.depth(), ch.capacity());
+    ++count;
+    sum += *item;
+  }
+  closer.join();
+
+  const std::uint64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(count, n);
+  EXPECT_EQ(sum, n * (n - 1) / 2);  // each value 0..n-1 exactly once
+}
+
+TEST(Stage, JoinRethrowsBodyException) {
+  exec::Stage stage("boom", [] { throw std::runtime_error("stage died"); });
+  EXPECT_THROW(stage.join(), std::runtime_error);
+  // The first join consumes the error; a repeat join is a quiet no-op.
+  EXPECT_FALSE(stage.failed());
+  stage.join();
+}
+
+TEST(Stage, CompletesAndCarriesName) {
+  std::atomic<int> ran{0};
+  exec::Stage stage("worker", [&] { ran.store(42); });
+  stage.join();
+  EXPECT_EQ(ran.load(), 42);
+  EXPECT_FALSE(stage.failed());
+  EXPECT_EQ(stage.name(), "worker");
+}
+
+// The driver's shutdown-on-exception wiring: a consumer stage that dies
+// mid-stream closes its input channel, the producer's push fails, and the
+// producer unwinds cleanly instead of deadlocking on a full channel.
+TEST(Stage, DyingConsumerUnblocksProducer) {
+  exec::Channel<int> ch(2);
+  std::atomic<int> produced{0};
+
+  exec::Stage producer("producer", [&] {
+    for (int i = 0; i < 1000; ++i) {
+      if (!ch.push(i)) return;  // consumer is gone
+      produced.store(i + 1);
+    }
+    ch.close();
+  });
+  exec::Stage consumer("consumer", [&] {
+    try {
+      auto first = ch.pop();
+      ASSERT_TRUE(first.has_value());
+      throw std::runtime_error("consumer died");
+    } catch (...) {
+      ch.close();
+      throw;
+    }
+  });
+
+  producer.join();  // returns: push() fails once the channel closes
+  EXPECT_THROW(consumer.join(), std::runtime_error);
+  EXPECT_LT(produced.load(), 1000);
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Tests for MeasurementStore day-window eviction (retire_days_below) —
+// the API the streaming driver uses to bound memory. Load-bearing
+// properties:
+//
+//   * retired chunks are sorted, and their concatenation across ascending
+//     retire calls equals the sorted_* snapshots of a never-evicted store
+//     regardless of how the eviction thresholds are spaced (the time-major
+//     key layout makes each chunk a key-order prefix);
+//   * day d-1 state survives every threshold <= d-1 — the previous-day
+//     baseline is readable until day d's join retires it;
+//   * evicted keys are gone from daily()/window()/ns_seen_on();
+//   * the public key decomposition helpers round-trip, including the
+//     pre-study day -1 the biased keys exist for.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "openintel/measurement.h"
+#include "openintel/storage.h"
+
+using namespace ddos;
+using openintel::Aggregate;
+using openintel::Measurement;
+using openintel::MeasurementStore;
+
+namespace {
+
+Measurement make_measurement(dns::NssetId nsset, netsim::DayIndex day,
+                             std::uint32_t second_of_day, double rtt_ms,
+                             std::uint32_t ns_ip) {
+  Measurement m;
+  m.time = netsim::day_start(day) + second_of_day;
+  m.domain = static_cast<dns::DomainId>(nsset * 100 + second_of_day);
+  m.nsset = nsset;
+  m.status = dns::ResponseStatus::Ok;
+  m.rtt_ms = rtt_ms;
+  m.chosen_ns = netsim::IPv4Addr(ns_ip);
+  return m;
+}
+
+// A deterministic spread of measurements over days [-1, 5] and a few
+// nssets; day -1 exercises the biased key encoding.
+std::vector<Measurement> sample_measurements() {
+  std::vector<Measurement> all;
+  for (netsim::DayIndex day = -1; day <= 5; ++day) {
+    for (const dns::NssetId nsset : {7u, 3u, 11u}) {
+      for (std::uint32_t i = 0; i < 4; ++i) {
+        all.push_back(make_measurement(
+            nsset, day, 600 * i + static_cast<std::uint32_t>(nsset),
+            10.0 + static_cast<double>(day + 2) + i,
+            0x0A000000u + nsset * 16 + i % 2));
+      }
+    }
+  }
+  return all;
+}
+
+void fold_all(MeasurementStore& store, const std::vector<Measurement>& ms) {
+  for (const Measurement& m : ms) store.add(m);
+}
+
+void expect_rows_equal(
+    const std::vector<std::pair<std::uint64_t, Aggregate>>& got,
+    const std::vector<std::pair<std::uint64_t, Aggregate>>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].first, want[i].first);
+    EXPECT_EQ(got[i].second.measured, want[i].second.measured);
+    EXPECT_EQ(got[i].second.ok, want[i].second.ok);
+    EXPECT_EQ(got[i].second.rtt.raw().sum, want[i].second.rtt.raw().sum);
+    EXPECT_EQ(got[i].second.rtt.raw().m2, want[i].second.rtt.raw().m2);
+  }
+}
+
+TEST(KeyDecomposition, RoundTripsIncludingNegativeDay) {
+  for (const netsim::DayIndex day : {-1L, 0L, 1L, 511L}) {
+    for (const dns::NssetId nsset : {0u, 9u, 0xFFFFFFu}) {
+      const std::uint64_t dk = MeasurementStore::make_day_key(nsset, day);
+      EXPECT_EQ(MeasurementStore::key_nsset(dk), nsset);
+      EXPECT_EQ(MeasurementStore::day_key_day(dk), day);
+
+      const netsim::WindowIndex w = day * netsim::kWindowsPerDay + 17;
+      const std::uint64_t wk = MeasurementStore::make_window_key(nsset, w);
+      EXPECT_EQ(MeasurementStore::key_nsset(wk), nsset);
+      EXPECT_EQ(MeasurementStore::window_key_window(wk), w);
+    }
+  }
+  // Time-major: later days order after earlier ones, nsset breaks ties.
+  EXPECT_LT(MeasurementStore::make_day_key(5, -1),
+            MeasurementStore::make_day_key(0, 0));
+  EXPECT_LT(MeasurementStore::make_day_key(0, 3),
+            MeasurementStore::make_day_key(1, 3));
+}
+
+// Retired chunks, concatenated, must reproduce the full sorted snapshots
+// — for several eviction-threshold spacings, including one retiring
+// everything at once and one day at a time.
+TEST(RetireDaysBelow, ChunkConcatenationMatchesFullSnapshots) {
+  const auto ms = sample_measurements();
+  MeasurementStore full;
+  fold_all(full, ms);
+  const auto want_daily = full.sorted_daily();
+  const auto want_window = full.sorted_window();
+  const auto want_ns_seen = full.sorted_ns_seen();
+
+  const std::vector<std::vector<netsim::DayIndex>> schedules = {
+      {6},                       // everything at once
+      {0, 1, 2, 3, 4, 5, 6},     // one day at a time
+      {2, 2, 5, 6},              // uneven, with a no-op repeat
+      {-1, 3, 99},               // below-everything start, beyond-end finish
+  };
+  for (const auto& schedule : schedules) {
+    MeasurementStore store;
+    fold_all(store, ms);
+    std::vector<std::pair<std::uint64_t, Aggregate>> daily, window;
+    std::vector<std::pair<netsim::DayIndex, netsim::IPv4Addr>> ns_seen;
+    for (const netsim::DayIndex threshold : schedule) {
+      auto chunk = store.retire_days_below(threshold);
+      daily.insert(daily.end(), chunk.daily.begin(), chunk.daily.end());
+      window.insert(window.end(), chunk.window.begin(), chunk.window.end());
+      ns_seen.insert(ns_seen.end(), chunk.ns_seen.begin(),
+                     chunk.ns_seen.end());
+    }
+    expect_rows_equal(daily, want_daily);
+    expect_rows_equal(window, want_window);
+    EXPECT_EQ(ns_seen, want_ns_seen);
+    EXPECT_EQ(store.daily_entries(), 0u);
+    EXPECT_EQ(store.window_entries(), 0u);
+  }
+}
+
+// The streaming driver's contract: while the join of day d is pending, a
+// retire at threshold d-1 must keep day d-1 (baseline + previous-day seen
+// set) readable; retiring at d evicts it.
+TEST(RetireDaysBelow, PreviousDayBaselineSurvivesUntilItsJoin) {
+  const netsim::DayIndex d = 3;
+  MeasurementStore store;
+  fold_all(store, sample_measurements());
+
+  ASSERT_NE(store.daily(7, d - 1), nullptr);
+  const double baseline = store.daily_avg_rtt(7, d - 1);
+  ASSERT_GT(baseline, 0.0);
+
+  store.retire_days_below(d - 1);  // days ..d-2 gone, d-1 kept
+  ASSERT_NE(store.daily(7, d - 1), nullptr);
+  EXPECT_EQ(store.daily_avg_rtt(7, d - 1), baseline);
+  EXPECT_TRUE(store.ns_seen_on(netsim::IPv4Addr(0x0A000000u + 7 * 16), d - 1));
+  EXPECT_EQ(store.daily(7, d - 2), nullptr);  // evicted
+  EXPECT_FALSE(
+      store.ns_seen_on(netsim::IPv4Addr(0x0A000000u + 7 * 16), d - 2));
+
+  store.retire_days_below(d);  // day d-1 retired after its join consumed it
+  EXPECT_EQ(store.daily(7, d - 1), nullptr);
+  EXPECT_FALSE(
+      store.ns_seen_on(netsim::IPv4Addr(0x0A000000u + 7 * 16), d - 1));
+  // Day d itself is untouched, window state included.
+  EXPECT_NE(store.daily(7, d), nullptr);
+  const netsim::WindowIndex wd = netsim::day_start(d).window();
+  EXPECT_NE(store.window(7, wd), nullptr);
+  EXPECT_EQ(store.window(7, wd - netsim::kWindowsPerDay), nullptr);
+}
+
+// Eviction must not disturb what remains: the post-retire snapshots equal
+// the tail of the full-store snapshots, whatever order eviction ran in.
+TEST(RetireDaysBelow, RemnantSnapshotsDeterministicAcrossEvictionOrders) {
+  const auto ms = sample_measurements();
+  MeasurementStore full;
+  fold_all(full, ms);
+  auto want_daily = full.sorted_daily();
+  const std::uint64_t limit = MeasurementStore::make_day_key(0, 2);
+  std::erase_if(want_daily, [&](const auto& row) { return row.first < limit; });
+
+  for (const std::vector<netsim::DayIndex>& schedule :
+       {std::vector<netsim::DayIndex>{2},
+        std::vector<netsim::DayIndex>{0, 1, 2},
+        std::vector<netsim::DayIndex>{-1, 2}}) {
+    MeasurementStore store;
+    fold_all(store, ms);
+    for (const netsim::DayIndex t : schedule) store.retire_days_below(t);
+    expect_rows_equal(store.sorted_daily(), want_daily);
+  }
+}
+
+}  // namespace

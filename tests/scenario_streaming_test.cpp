@@ -1,0 +1,168 @@
+// The streaming acceptance test: run_longitudinal_streaming must be
+// bit-identical to run_longitudinal — joined events, join statistics,
+// swept-measurement count, analysis summaries, and the DRS store file —
+// for any window_days and channel capacity. A ctest variant re-runs this
+// binary under DDOSREPRO_THREADS=2 to cover the multi-threaded sweep.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/analysis.h"
+#include "scenario/driver.h"
+
+namespace ddos::scenario {
+namespace {
+
+// Each discovered test case runs as its own process, concurrently with
+// the whole-binary DDOSREPRO_THREADS=2/8 ctest variants — TempDir()
+// names must be per-process or parallel ctest workers race on the same
+// store file.
+std::string temp_path(const char* name) {
+  return (std::filesystem::path(testing::TempDir()) /
+          (std::to_string(::getpid()) + "-" + name))
+      .string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+LongitudinalConfig test_config() {
+  LongitudinalConfig cfg = small_longitudinal_config(21);
+  cfg.world.provider_count = 80;
+  cfg.world.domain_count = 4000;
+  cfg.workload.scale = 200.0;
+  return cfg;
+}
+
+void expect_equivalent(const LongitudinalResult& streamed,
+                       const LongitudinalResult& materialized,
+                       bool feed_retired = true) {
+  EXPECT_EQ(streamed.feed_records, materialized.feed_records);
+  // Streaming retires feed records shard by shard; only the count and the
+  // stitched events survive (retain_feed keeps the vector for --feed-csv).
+  EXPECT_EQ(streamed.feed.records().empty(), feed_retired);
+  ASSERT_EQ(streamed.events.size(), materialized.events.size());
+  for (std::size_t i = 0; i < streamed.events.size(); ++i) {
+    EXPECT_EQ(streamed.events[i], materialized.events[i]) << "event " << i;
+  }
+  EXPECT_EQ(streamed.swept_measurements, materialized.swept_measurements);
+  EXPECT_EQ(streamed.join_stats, materialized.join_stats);
+  ASSERT_EQ(streamed.joined.size(), materialized.joined.size());
+  for (std::size_t i = 0; i < streamed.joined.size(); ++i) {
+    EXPECT_EQ(streamed.joined[i], materialized.joined[i]) << "event " << i;
+  }
+
+  // Downstream analyses see identical inputs, so their summaries agree.
+  const auto ms = core::monthly_summary(streamed.events,
+                                        streamed.world->registry);
+  const auto mm = core::monthly_summary(materialized.events,
+                                        materialized.world->registry);
+  ASSERT_EQ(ms.size(), mm.size());
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_EQ(ms[i].year, mm[i].year);
+    EXPECT_EQ(ms[i].month, mm[i].month);
+    EXPECT_EQ(ms[i].dns_attacks, mm[i].dns_attacks);
+    EXPECT_EQ(ms[i].other_attacks, mm[i].other_attacks);
+    EXPECT_EQ(ms[i].dns_ips, mm[i].dns_ips);
+    EXPECT_EQ(ms[i].other_ips, mm[i].other_ips);
+  }
+  const auto fs = core::failure_attribution(streamed.joined);
+  const auto fm = core::failure_attribution(materialized.joined);
+  EXPECT_EQ(fs.complete_failures, fm.complete_failures);
+  EXPECT_EQ(fs.single_asn, fm.single_asn);
+  EXPECT_EQ(fs.single_prefix, fm.single_prefix);
+  EXPECT_EQ(fs.unicast, fm.unicast);
+  const auto is = core::intensity_impact_series(streamed.joined,
+                                                streamed.darknet);
+  const auto im = core::intensity_impact_series(materialized.joined,
+                                                materialized.darknet);
+  EXPECT_EQ(is.n(), im.n());
+  EXPECT_EQ(is.pearson, im.pearson);
+}
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new LongitudinalConfig(test_config());
+    materialized_ = new LongitudinalResult(run_longitudinal(*config_));
+  }
+  static void TearDownTestSuite() {
+    delete materialized_;
+    delete config_;
+    materialized_ = nullptr;
+    config_ = nullptr;
+  }
+  static LongitudinalConfig* config_;
+  static LongitudinalResult* materialized_;
+};
+
+LongitudinalConfig* StreamingTest::config_ = nullptr;
+LongitudinalResult* StreamingTest::materialized_ = nullptr;
+
+TEST_F(StreamingTest, MatchesMaterializedAtMinimumWindow) {
+  StreamingOptions opts;
+  opts.window_days = 1;  // tightest legal retirement
+  opts.channel_capacity = 1;
+  const auto streamed = run_longitudinal_streaming(*config_, opts);
+  expect_equivalent(streamed, *materialized_);
+}
+
+TEST_F(StreamingTest, MatchesMaterializedAtWiderWindow) {
+  StreamingOptions opts;
+  opts.window_days = 3;  // slack only delays retirement, never output
+  opts.channel_capacity = 8;
+  const auto streamed = run_longitudinal_streaming(*config_, opts);
+  expect_equivalent(streamed, *materialized_);
+}
+
+TEST_F(StreamingTest, StreamedStoreFileIsByteIdenticalToSaveRun) {
+  const std::string mat_path = temp_path("streaming_mat.drs");
+  const std::uint64_t mat_bytes =
+      save_run(mat_path, *config_, /*threads=*/2, *materialized_);
+
+  StreamingOptions opts;
+  opts.store_path = temp_path("streaming_str.drs");
+  opts.threads = 2;  // provenance meta must match save_run's
+  const auto streamed = run_longitudinal_streaming(*config_, opts);
+  EXPECT_EQ(streamed.store_bytes, mat_bytes);
+
+  const std::string mat = read_file(mat_path);
+  const std::string str = read_file(opts.store_path);
+  ASSERT_EQ(str.size(), mat.size());
+  EXPECT_TRUE(str == mat) << "streamed DRS store differs from save_run's";
+
+  // And the streamed file is a valid store that loads back to the run.
+  const StoredRun loaded = load_run(opts.store_path);
+  EXPECT_EQ(loaded.joined, materialized_->joined);
+  EXPECT_EQ(loaded.join_stats, materialized_->join_stats);
+}
+
+TEST_F(StreamingTest, RetainFeedKeepsRecordVector) {
+  StreamingOptions opts;
+  opts.retain_feed = true;  // --feed-csv path: the CSV needs the vector
+  const auto streamed = run_longitudinal_streaming(*config_, opts);
+  EXPECT_EQ(streamed.feed.records(), materialized_->feed.records());
+  expect_equivalent(streamed, *materialized_, /*feed_retired=*/false);
+}
+
+TEST_F(StreamingTest, RejectsZeroWindowDays) {
+  StreamingOptions opts;
+  opts.window_days = 0;
+  EXPECT_THROW(run_longitudinal_streaming(*config_, opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddos::scenario

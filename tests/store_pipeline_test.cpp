@@ -6,6 +6,8 @@
 // path on a corrupted store file.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -18,8 +20,14 @@
 namespace ddos::scenario {
 namespace {
 
+// gtest_discover_tests runs every test case of this binary as its own
+// ctest entry (its own process), and SetUpTestSuite re-runs in each of
+// them — so TempDir() names must be per-process or concurrent ctest -j
+// workers race on the same store file.
 std::string temp_path(const char* name) {
-  return (std::filesystem::path(testing::TempDir()) / name).string();
+  return (std::filesystem::path(testing::TempDir()) /
+          (std::to_string(::getpid()) + "-" + name))
+      .string();
 }
 
 void expect_stats_equal(const util::RunningStats& a,

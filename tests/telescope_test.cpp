@@ -143,6 +143,46 @@ TEST(Segmentation, AggregatesMaxima) {
   EXPECT_EQ(events[0].max_unique_ports, 7u);
 }
 
+// The incremental stitcher must reproduce batch segmentation exactly —
+// including the head-record choice when two attacks hit one victim in the
+// same window (record_less breaks the tie, not insertion order).
+TEST(Segmentation, IncrementalStitcherMatchesBatch) {
+  InferenceParams params;
+  params.max_gap_windows = 2;
+
+  std::vector<RSDoSRecord> records;
+  // Victim A: two runs (gap of 4 splits), inserted out of order so the
+  // stitcher bridges and splits in both directions.
+  for (const netsim::WindowIndex w : {14, 10, 11, 20, 13, 21}) {
+    records.push_back(rec_at(IPv4Addr(1, 1, 1, 1), w, 50.0 + w));
+  }
+  // Victim B: duplicate-window records with different ports/protocols —
+  // the event head must be the record_less-minimal one either way.
+  auto tie1 = rec_at(IPv4Addr(2, 2, 2, 2), 30);
+  tie1.protocol = attack::Protocol::UDP;
+  tie1.first_port = 53;
+  auto tie2 = rec_at(IPv4Addr(2, 2, 2, 2), 30);
+  tie2.protocol = attack::Protocol::TCP;
+  tie2.first_port = 443;
+  tie2.unique_ports = 9;
+  records.push_back(tie2);
+  records.push_back(tie1);
+  records.push_back(rec_at(IPv4Addr(2, 2, 2, 2), 31));
+
+  const auto batch = segment_events(records, params);
+
+  EventStitcher forward(params);
+  for (const auto& rec : records) forward.add(rec);
+  EXPECT_EQ(forward.records_added(), records.size());
+  EXPECT_EQ(forward.finish(), batch);
+
+  EventStitcher reverse(params);
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    reverse.add(*it);
+  }
+  EXPECT_EQ(reverse.finish(), batch);
+}
+
 TEST(Segmentation, EventTimes) {
   const InferenceParams params;
   const auto events =

@@ -12,6 +12,12 @@ listed under ``informational`` are printed for the log but never fail the
 job, since lower-level numbers (per-probe latency, store MB/s) are too
 runner-sensitive to gate on.
 
+``guarded_max`` entries are lower-is-better hard ceilings, checked without
+tolerance: the value in the baseline file IS the limit. The streaming
+pipeline's ``peak_rss_ratio`` lives here — the streaming run must peak at
+no more than half the materialized run's RSS, and the measured margin
+(~0.3 on the reference box) is the tolerance.
+
 Only the standard library is used so the script runs on a bare CI image.
 """
 
@@ -46,6 +52,18 @@ def main(argv):
             failures.append(
                 f"{name}: {measured:.6g} < floor {floor:.6g} "
                 f"(baseline {base:.6g}, tolerance {tolerance:.0%})")
+
+    for name, ceiling in sorted(baseline.get("guarded_max", {}).items()):
+        measured = results.get(name)
+        if measured is None:
+            failures.append(f"{name}: missing from bench results")
+            continue
+        verdict = "OK" if float(measured) <= float(ceiling) else "EXCEEDED"
+        print(f"{name}: measured {measured:.6g} vs ceiling {ceiling:.6g} "
+              f"(lower is better) -> {verdict}")
+        if verdict != "OK":
+            failures.append(
+                f"{name}: {measured:.6g} > ceiling {ceiling:.6g}")
 
     for name, base in sorted(baseline.get("informational", {}).items()):
         measured = results.get(name)

@@ -4,6 +4,7 @@
 //                      [--zone <tld> --out <file>] [--audit]
 //   ddosrepro run      [--seed N --scale X --domains N --providers N]
 //                      [--threads N] [--store <file.drs>]
+//                      [--streaming] [--window-days N]
 //                      [--events-csv <file>] [--feed-csv <file>]
 //                      [--metrics-out <file>] [--trace-out <file>] [--progress]
 //   ddosrepro generate --store <file.drs> [run flags]
@@ -21,10 +22,17 @@
 // stage from the stored aggregates and asserts a bit-for-bit match).
 // `analyze --events-csv` replays the lossy CSV export instead.
 //
+// --streaming switches run/generate to the bounded-memory day-epoch
+// pipeline (channel-connected stages; folded state retires once the
+// day-after join has consumed it) — output is bit-identical to the
+// default materializing path at any --threads and --window-days, the
+// latter only bounding how long retired-eligible days linger.
+//
 // Observability (run): --metrics-out writes a run-report JSON (config,
 // stage timings, metric snapshot, headline results), --trace-out writes a
 // Chrome trace_event file (open in chrome://tracing or Perfetto), and
 // --progress emits a one-line heartbeat per simulated sweep day on stderr.
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -49,6 +57,16 @@
 using namespace ddos;
 
 namespace {
+
+// Default for --window-days, overridable via DDOSREPRO_WINDOW_DAYS (the
+// same convention DDOSREPRO_THREADS uses for the worker pool).
+unsigned env_window_days() {
+  if (const char* env = std::getenv("DDOSREPRO_WINDOW_DAYS")) {
+    const unsigned long v = std::strtoul(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 2;
+}
 
 int cmd_world(util::FlagParser& flags) {
   scenario::WorldParams params;
@@ -186,22 +204,49 @@ int cmd_run(util::FlagParser& flags) {
     install.emplace(*observer);
   }
 
-  const auto r = scenario::run_longitudinal(cfg);
-  print_pipeline_line(r.workload.schedule.size(), r.feed.records().size(),
+  const bool streaming = flags.get_bool("streaming");
+  const std::string store_path = flags.get_string("store");
+  scenario::LongitudinalResult r;
+  try {
+    if (streaming) {
+      scenario::StreamingOptions opts;
+      opts.window_days =
+          static_cast<netsim::DayIndex>(flags.get_uint("window-days"));
+      opts.threads = threads;
+      // The streaming run appends the DRS store per retired epoch instead
+      // of snapshotting at the end (the full store never materialises).
+      opts.store_path = store_path;
+      // Streaming retires feed records as they are folded; only the CSV
+      // export still needs the full vector resident.
+      opts.retain_feed = !flags.get_string("feed-csv").empty();
+      r = scenario::run_longitudinal_streaming(cfg, opts);
+    } else {
+      r = scenario::run_longitudinal(cfg);
+    }
+  } catch (const store::StoreError& e) {
+    std::cerr << "store error: " << e.what() << "\n";
+    return 1;
+  }
+  print_pipeline_line(r.workload.schedule.size(), r.feed_records,
                       r.events.size(), r.joined.size(), r.swept_measurements);
   print_analysis(r.joined);
 
-  const std::string store_path = flags.get_string("store");
   if (!store_path.empty()) {
-    try {
-      const std::uint64_t bytes =
-          scenario::save_run(store_path, cfg, threads, r);
+    if (streaming) {
       std::cout << "\nwrote dataset store ("
-                << util::format_count(static_cast<double>(bytes)) << "B) to "
-                << store_path << "\n";
-    } catch (const store::StoreError& e) {
-      std::cerr << "store error: " << e.what() << "\n";
-      return 1;
+                << util::format_count(static_cast<double>(r.store_bytes))
+                << "B) to " << store_path << "\n";
+    } else {
+      try {
+        const std::uint64_t bytes =
+            scenario::save_run(store_path, cfg, threads, r);
+        std::cout << "\nwrote dataset store ("
+                  << util::format_count(static_cast<double>(bytes)) << "B) to "
+                  << store_path << "\n";
+      } catch (const store::StoreError& e) {
+        std::cerr << "store error: " << e.what() << "\n";
+        return 1;
+      }
     }
   }
 
@@ -240,7 +285,7 @@ int cmd_run(util::FlagParser& flags) {
     report.add_result("attacks",
                       static_cast<std::int64_t>(r.workload.schedule.size()));
     report.add_result("feed_records",
-                      static_cast<std::int64_t>(r.feed.records().size()));
+                      static_cast<std::int64_t>(r.feed_records));
     report.add_result("events", static_cast<std::int64_t>(r.events.size()));
     report.add_result("joined", static_cast<std::int64_t>(r.joined.size()));
     report.add_result("swept_measurements",
@@ -306,7 +351,7 @@ int cmd_analyze_store(util::FlagParser& flags, const std::string& path) {
   }
 
   std::cout << "\n";
-  print_pipeline_line(run.attacks, run.feed.records().size(),
+  print_pipeline_line(run.attacks, run.feed_records,
                       run.events.size(), run.joined.size(),
                       run.swept_measurements);
   print_analysis(run.joined);
@@ -393,6 +438,17 @@ int main(int argc, char** argv) {
                  "worker threads for the pipeline; results are identical "
                  "for any value (run/generate/analyze)",
                  1, 4096);
+  flags.add_bool("streaming",
+                 "run the bounded-memory day-epoch pipeline; output is "
+                 "bit-identical to the default path (run/generate)");
+  // Like --threads, the default honours an environment override
+  // (DDOSREPRO_WINDOW_DAYS) so test harnesses can vary it without
+  // rewriting command lines; 0 is rejected by the flag's range.
+  flags.add_uint("window-days", env_window_days(),
+                 "days of folded state the streaming store keeps beyond "
+                 "the join watermark before retiring them; any value >= 1 "
+                 "yields identical output (run/generate with --streaming)",
+                 1, 1000000);
   flags.add_string("zone", "", "TLD to export as a parent-zone file");
   flags.add_string("out", "", "output path for --zone");
   flags.add_string("events-csv", "", "events CSV path (run: write; analyze: read)");
