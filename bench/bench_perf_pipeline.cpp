@@ -24,6 +24,7 @@
 #include "netsim/rng.h"
 #include "obs/obs.h"
 #include "obs/report.h"
+#include "obs/sampler.h"
 #include "core/analysis.h"
 #include "core/audit.h"
 #include "core/join.h"
@@ -321,13 +322,33 @@ void write_pipeline_json(const char* path, const PeakRss& peaks) {
     return scenario::run_longitudinal(cfg);
   }();
 
+  // The N-thread run doubles as the sampler-overhead audit: a
+  // TelemetrySampler at the default 250 ms cadence rides along and
+  // self-times every sample body. The gated figure is the steady-state
+  // overhead — mean sample cost divided by the sampling interval, i.e.
+  // the fraction of each interval the sampler's thread spends working.
+  // (Dividing by this short run's wall clock instead would overstate it:
+  // the run takes two bookend samples in well under one interval.)
   obs::Observer observer;
   exec::set_global_threads(threads);
+  obs::TelemetrySampler sampler(observer, obs::SamplerOptions{});
   const scenario::LongitudinalResult result = [&] {
     const obs::ScopedInstall install(observer);
-    return scenario::run_longitudinal(cfg);
+    sampler.start();
+    scenario::LongitudinalResult r = scenario::run_longitudinal(cfg);
+    sampler.stop();
+    return r;
   }();
   exec::set_global_threads(0);
+  const double sampler_interval_ns =
+      static_cast<double>(sampler.options().interval_ms) * 1e6;
+  const double mean_sample_ns =
+      sampler.samples_taken() > 0
+          ? static_cast<double>(sampler.total_sample_ns()) /
+                static_cast<double>(sampler.samples_taken())
+          : 0.0;
+  const double sampler_overhead_pct =
+      100.0 * mean_sample_ns / sampler_interval_ns;
 
   if (result.joined.size() != result_t1.joined.size() ||
       result.swept_measurements != result_t1.swept_measurements) {
@@ -487,6 +508,11 @@ void write_pipeline_json(const char* path, const PeakRss& peaks) {
   report.add_result("peak_rss_bytes_materialized",
                     static_cast<std::int64_t>(peaks.materialized_bytes));
   report.add_result("peak_rss_ratio", peaks.ratio());
+  report.add_result("sampler_overhead_pct", sampler_overhead_pct);
+  report.add_result("sampler_samples",
+                    static_cast<std::int64_t>(sampler.samples_taken()));
+  report.add_result("sampler_series",
+                    static_cast<std::int64_t>(sampler.series().series_count()));
   // analyze --store replaces a full re-simulation with one store read.
   report.add_result("analyze_vs_run_speedup",
                     store_read_ns > 0
@@ -515,7 +541,10 @@ void write_pipeline_json(const char* path, const PeakRss& peaks) {
             << peaks.streaming_bytes / (1024.0 * 1024.0)
             << " MiB vs materialized "
             << peaks.materialized_bytes / (1024.0 * 1024.0) << " MiB = "
-            << peaks.ratio() << "x)\n";
+            << peaks.ratio() << "x; sampler overhead "
+            << sampler_overhead_pct << "% over " << sampler.samples_taken()
+            << " samples, " << sampler.series().series_count()
+            << " series)\n";
 }
 
 }  // namespace

@@ -44,6 +44,7 @@ class Channel {
                    [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(value));
+    ++pushes_;
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -56,6 +57,7 @@ class Channel {
     if (items_.empty()) return std::nullopt;  // closed and drained
     std::optional<T> out(std::move(items_.front()));
     items_.pop_front();
+    ++pops_;
     lock.unlock();
     not_full_.notify_one();
     return out;
@@ -85,12 +87,30 @@ class Channel {
 
   std::size_t capacity() const { return capacity_; }
 
+  /// Lifetime totals for the stall watchdog: progress() is monotonic and
+  /// advances on every successful push or pop, so a channel whose count
+  /// freezes means neither side is moving items.
+  std::uint64_t pushes() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return pushes_;
+  }
+  std::uint64_t pops() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return pops_;
+  }
+  std::uint64_t progress() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return pushes_ + pops_;
+  }
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t pops_ = 0;
   bool closed_ = false;
 };
 

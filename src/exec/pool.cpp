@@ -155,6 +155,15 @@ std::vector<WorkerStats> WorkerPool::stats() const {
   return out;
 }
 
+std::uint64_t WorkerPool::progress() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell->tasks.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 void WorkerPool::record_shards(unsigned participant, std::uint64_t shards,
                                std::uint64_t busy_ns) {
   if (participant >= cells_.size() || shards == 0) return;

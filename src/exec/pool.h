@@ -64,6 +64,10 @@ class WorkerPool {
   /// Snapshot of cumulative per-participant stats.
   std::vector<WorkerStats> stats() const;
 
+  /// Total shards executed across all participants — a monotonic count the
+  /// stall watchdog can poll to see whether the pool is still moving.
+  std::uint64_t progress() const;
+
   /// Called by the parallel layer after a participant drains its shards.
   void record_shards(unsigned participant, std::uint64_t shards,
                      std::uint64_t busy_ns);

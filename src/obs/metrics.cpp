@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <sstream>
@@ -236,6 +237,80 @@ std::string MetricsSnapshot::to_json() const {
     out << "}";
   }
   out << "]";
+  return out.str();
+}
+
+namespace {
+
+// OpenMetrics names are [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted metric paths
+// flatten to underscores ("resolver.queries" -> "resolver_queries").
+std::string openmetrics_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+std::string openmetrics_labels(const MetricLabels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += openmetrics_name(k) + "=\"" + json_escape(v) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_openmetrics() const {
+  std::ostringstream out;
+  // One TYPE line per metric family; (name, labels) variants of the same
+  // family arrive adjacent because samples are sorted by name first.
+  std::string last_family;
+  for (const auto& s : samples) {
+    const std::string family = openmetrics_name(s.name);
+    if (family != last_family) {
+      last_family = family;
+      out << "# TYPE " << family << " " << kind_name(s.kind) << "\n";
+    }
+    const std::string labels = openmetrics_labels(s.labels);
+    switch (s.kind) {
+      case MetricKind::Counter:
+        out << family << "_total" << labels << " " << format_number(s.value)
+            << "\n";
+        break;
+      case MetricKind::Gauge:
+        out << family << labels << " " << format_number(s.value) << "\n";
+        break;
+      case MetricKind::Histogram: {
+        // Cumulative le-buckets over the non-empty bins; the +Inf bucket
+        // equals _count by construction.
+        std::uint64_t cumulative = 0;
+        double approx_sum = 0.0;
+        for (const auto& b : s.bins) {
+          cumulative += b.count;
+          approx_sum += std::sqrt(b.lo * b.hi) * static_cast<double>(b.count);
+          out << family << "_bucket{le=\"" << format_number(b.hi) << "\"} "
+              << cumulative << "\n";
+        }
+        out << family << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+        out << family << "_count" << labels << " " << cumulative << "\n";
+        out << family << "_sum" << labels << " " << format_number(approx_sum)
+            << "\n";
+        break;
+      }
+    }
+  }
+  out << "# EOF\n";
   return out.str();
 }
 

@@ -95,6 +95,12 @@ struct MetricsSnapshot {
   std::string to_json() const;
   /// Human-readable table via util::TextTable.
   std::string to_table() const;
+  /// OpenMetrics/Prometheus text exposition: dotted names flattened to
+  /// underscores, counters suffixed `_total`, histograms rendered as
+  /// cumulative `_bucket{le=...}` plus `_count`/`_sum` (the sum is
+  /// approximated from bin geometric midpoints — the log histogram keeps
+  /// no exact sum), terminated by `# EOF`.
+  std::string to_openmetrics() const;
   /// First sample with this name (ignoring labels), nullptr if absent.
   const MetricSample* find(const std::string& name) const;
 };

@@ -54,8 +54,55 @@ void Observer::set_progress(std::function<void(const ProgressEvent&)> callback,
   progress_last_ns_.store(0, std::memory_order_relaxed);
 }
 
+std::uint64_t ProgressRegistry::add(std::string name, CountFn count,
+                                    DetailFn detail) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Source s;
+  s.id = next_id_++;
+  s.name = std::move(name);
+  s.count = std::move(count);
+  s.detail = std::move(detail);
+  sources_.push_back(std::move(s));
+  return sources_.back().id;
+}
+
+void ProgressRegistry::remove(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sources_.begin(); it != sources_.end(); ++it) {
+    if (it->id == id) {
+      sources_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<ProgressRegistry::Reading> ProgressRegistry::read() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Reading> out;
+  out.reserve(sources_.size());
+  for (const Source& s : sources_) {
+    Reading r;
+    r.name = s.name;
+    r.count = s.count ? s.count() : 0;
+    if (s.detail) r.detail = s.detail();
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::size_t ProgressRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sources_.size();
+}
+
 void Observer::emit_progress(const ProgressEvent& event, bool force) {
   if (!on_progress_) return;
+  // A completion event is never throttled: a short run can finish inside
+  // one throttle interval, and dropping the 100% line would leave the
+  // last printed heartbeat at a stale percentage.
+  if (event.days_total > 0 && event.days_done == event.days_total) {
+    force = true;
+  }
   const std::uint64_t now = tracer_.now_ns();
   if (!force && progress_min_interval_ms_ > 0) {
     // Single atomic throttle slot: concurrent callers race on the CAS and

@@ -21,12 +21,73 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace ddos::obs {
+
+/// Registry of monotonic progress sources — the signal the stall watchdog
+/// and the telemetry sampler poll. A source is a name plus a callable
+/// returning a monotonically non-decreasing count (items pushed, days
+/// folded, shards run); an optional detail callable renders a one-line
+/// human hint ("depth 4/4") for diagnostic dumps. Registration is scoped:
+/// the callable must stay valid until remove(), which ScopedProgressSource
+/// guarantees by RAII. read() runs the callables under the registry lock,
+/// so they must be cheap and lock-free-ish (atomic loads, channel depth).
+class ProgressRegistry {
+ public:
+  using CountFn = std::function<std::uint64_t()>;
+  using DetailFn = std::function<std::string()>;
+
+  std::uint64_t add(std::string name, CountFn count, DetailFn detail = {});
+  void remove(std::uint64_t id);
+
+  struct Reading {
+    std::string name;
+    std::uint64_t count = 0;
+    std::string detail;  // empty when the source has no detail fn
+  };
+  /// One reading per live source, in registration order.
+  std::vector<Reading> read() const;
+  std::size_t size() const;
+
+ private:
+  struct Source {
+    std::uint64_t id = 0;
+    std::string name;
+    CountFn count;
+    DetailFn detail;
+  };
+  mutable std::mutex mu_;
+  std::vector<Source> sources_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// RAII registration into the installed observer's ProgressRegistry; a
+/// no-op when no observer is installed (registry == nullptr).
+class ScopedProgressSource {
+ public:
+  ScopedProgressSource(ProgressRegistry* registry, std::string name,
+                       ProgressRegistry::CountFn count,
+                       ProgressRegistry::DetailFn detail = {})
+      : registry_(registry),
+        id_(registry ? registry->add(std::move(name), std::move(count),
+                                     std::move(detail))
+                     : 0) {}
+  ~ScopedProgressSource() {
+    if (registry_) registry_->remove(id_);
+  }
+  ScopedProgressSource(const ScopedProgressSource&) = delete;
+  ScopedProgressSource& operator=(const ScopedProgressSource&) = delete;
+
+ private:
+  ProgressRegistry* registry_;
+  std::uint64_t id_;
+};
 
 /// Metric names are dotted stage.event paths; the full catalogue is
 /// documented in README.md §Observability.
@@ -108,11 +169,21 @@ class Observer {
 
   /// Progress heartbeats. The callback runs on the emitting thread;
   /// `min_interval_ms` rate-limits per-day ticks (final/forced events
-  /// always pass). 0 disables throttling — tests use that.
+  /// always pass). 0 disables throttling — tests use that. Completion
+  /// events (days_done == days_total > 0) bypass the throttle implicitly,
+  /// so the 100% line is emitted even when a short run finishes between
+  /// throttle ticks and the caller forgot to force.
   void set_progress(std::function<void(const ProgressEvent&)> callback,
                     std::uint64_t min_interval_ms = 500);
   bool progress_enabled() const { return static_cast<bool>(on_progress_); }
   void emit_progress(const ProgressEvent& event, bool force = false);
+
+  /// Monotonic progress sources the stall watchdog polls (streaming
+  /// stages, channels, the worker pool).
+  ProgressRegistry& progress_sources() { return progress_sources_; }
+  const ProgressRegistry& progress_sources() const {
+    return progress_sources_;
+  }
 
   // ---- global installation ------------------------------------------
   static Observer* installed();
@@ -123,6 +194,7 @@ class Observer {
 
  private:
   std::function<void(const ProgressEvent&)> on_progress_;
+  ProgressRegistry progress_sources_;
   std::uint64_t progress_min_interval_ms_ = 500;
   // Atomic so concurrent emitters (parallel sweep shards) throttle safely;
   // the CAS in emit_progress picks one winner per interval.

@@ -1,6 +1,8 @@
 #include "obs/trace.h"
 
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <sstream>
 #include <thread>
 
@@ -18,9 +20,65 @@ std::uint64_t current_thread_id() {
   return std::hash<std::thread::id>{}(std::this_thread::get_id());
 }
 
+// ---- active-span slots. One slot per thread, registered on first use and
+// kept alive by shared_ptr from both the thread_local (writer) and the
+// global list (readers), so a snapshot racing a thread's exit never sees a
+// dangling slot — a dead thread's slot just sits with an empty stack.
+std::atomic<bool> g_track_active{false};
+
+struct ActiveSlot {
+  std::mutex mu;
+  std::uint64_t thread_id = 0;
+  std::vector<std::string> stack;  // open span names, outermost first
+};
+
+std::mutex g_slots_mu;
+std::vector<std::shared_ptr<ActiveSlot>>& slot_list() {
+  static std::vector<std::shared_ptr<ActiveSlot>> list;
+  return list;
+}
+
+ActiveSlot& thread_slot() {
+  thread_local std::shared_ptr<ActiveSlot> slot = [] {
+    auto s = std::make_shared<ActiveSlot>();
+    s->thread_id = current_thread_id();
+    const std::lock_guard<std::mutex> lock(g_slots_mu);
+    slot_list().push_back(s);
+    return s;
+  }();
+  return *slot;
+}
+
 }  // namespace
 
 void set_thread_span_depth(std::uint32_t depth) { t_span_depth = depth; }
+
+void set_active_span_tracking(bool enabled) {
+  g_track_active.store(enabled, std::memory_order_relaxed);
+}
+
+bool active_span_tracking_enabled() {
+  return g_track_active.load(std::memory_order_relaxed);
+}
+
+std::vector<ActiveSpanInfo> active_spans() {
+  std::vector<std::shared_ptr<ActiveSlot>> slots;
+  {
+    const std::lock_guard<std::mutex> lock(g_slots_mu);
+    slots = slot_list();
+  }
+  std::vector<ActiveSpanInfo> out;
+  for (const auto& slot : slots) {
+    const std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->stack.empty()) continue;
+    ActiveSpanInfo info;
+    info.thread_id = slot->thread_id;
+    info.name = slot->stack.back();
+    info.open_spans = static_cast<std::uint32_t>(slot->stack.size());
+    out.push_back(std::move(info));
+  }
+  return out;
+}
 
 Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
 
@@ -83,11 +141,24 @@ ScopedSpan::ScopedSpan(Tracer* tracer, std::string name) : tracer_(tracer) {
   name_ = std::move(name);
   start_ns_ = tracer_->now_ns();
   depth_ = t_span_depth++;
+  if (g_track_active.load(std::memory_order_relaxed)) {
+    ActiveSlot& slot = thread_slot();
+    const std::lock_guard<std::mutex> lock(slot.mu);
+    slot.stack.push_back(name_);
+    published_ = true;
+  }
 }
 
 ScopedSpan::~ScopedSpan() {
   if (!tracer_) return;
   --t_span_depth;
+  if (published_) {
+    // Pop by our own push, not by current tracking state: tracking may
+    // have been toggled while this span was open.
+    ActiveSlot& slot = thread_slot();
+    const std::lock_guard<std::mutex> lock(slot.mu);
+    if (!slot.stack.empty()) slot.stack.pop_back();
+  }
   TraceEvent ev;
   ev.name = std::move(name_);
   ev.start_ns = start_ns_;

@@ -68,6 +68,29 @@ class Tracer {
 /// the main thread (the run report only tabulates depth <= 1).
 void set_thread_span_depth(std::uint32_t depth);
 
+// ---- active-span tracking (stall diagnostics) -------------------------
+//
+// When enabled (the stall watchdog turns it on), every ScopedSpan also
+// publishes its name into a per-thread slot that other threads can
+// snapshot, answering "what is each worker doing right now?" during a
+// hang. Disabled (the default) it costs one relaxed atomic load per span;
+// enabled it adds a brief uncontended per-thread mutex on open/close.
+
+/// Globally enable/disable active-span publication.
+void set_active_span_tracking(bool enabled);
+bool active_span_tracking_enabled();
+
+struct ActiveSpanInfo {
+  std::uint64_t thread_id = 0;  // stable hash, same domain as TraceEvent
+  std::string name;             // innermost open span on that thread
+  std::uint32_t open_spans = 0;  // depth of that thread's open-span stack
+};
+
+/// Innermost open span of every thread that has one. Threads whose spans
+/// have all closed (or that never opened one while tracking was on) are
+/// omitted.
+std::vector<ActiveSpanInfo> active_spans();
+
 /// RAII span. `tracer == nullptr` disables the span entirely.
 class ScopedSpan {
  public:
@@ -95,6 +118,7 @@ class ScopedSpan {
   std::uint64_t start_ns_ = 0;
   std::uint32_t depth_ = 0;
   std::uint64_t items_ = 0;
+  bool published_ = false;  // pushed onto this thread's active-span stack
   std::vector<std::pair<std::string, std::string>> args_;
 };
 

@@ -1,0 +1,187 @@
+#include "obs/watchdog.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/trace.h"
+#include "util/strings.h"
+
+namespace ddos::obs {
+
+StallWatchdog::StallWatchdog(Observer& observer, WatchdogOptions options)
+    : observer_(observer), options_(std::move(options)) {}
+
+StallWatchdog::~StallWatchdog() { stop(); }
+
+void StallWatchdog::start() {
+  if (running_.exchange(true)) return;
+  stop_requested_.store(false, std::memory_order_relaxed);
+  prev_span_tracking_ = active_span_tracking_enabled();
+  set_active_span_tracking(true);
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void StallWatchdog::stop() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  {
+    const std::lock_guard<std::mutex> lock(wait_mu_);
+    stop_requested_.store(true, std::memory_order_relaxed);
+  }
+  wait_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  set_active_span_tracking(prev_span_tracking_);
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void StallWatchdog::thread_main() {
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    wait_cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_ms),
+                      [&] {
+                        return stop_requested_.load(
+                            std::memory_order_relaxed);
+                      });
+    if (stop_requested_.load(std::memory_order_relaxed)) break;
+    lock.unlock();
+    const std::uint64_t now = observer_.tracer().now_ns();
+    bool stalled = false;
+    {
+      const std::lock_guard<std::mutex> state_lock(mu_);
+      stalled = update_and_check(now);
+    }
+    if (stalled && !fired_.exchange(true)) {
+      std::string report;
+      {
+        const std::lock_guard<std::mutex> state_lock(mu_);
+        report = build_report(now, /*stalled=*/true);
+      }
+      handle_stall(report);
+      return;  // one report per watchdog; the handler usually aborts
+    }
+    lock.lock();
+  }
+}
+
+std::string StallWatchdog::check_now() {
+  const std::uint64_t now = observer_.tracer().now_ns();
+  const std::lock_guard<std::mutex> state_lock(mu_);
+  if (!update_and_check(now)) return {};
+  return build_report(now, /*stalled=*/true);
+}
+
+std::string StallWatchdog::diagnostic_report() const {
+  const std::uint64_t now = observer_.tracer().now_ns();
+  const std::lock_guard<std::mutex> state_lock(mu_);
+  return build_report(now, /*stalled=*/false);
+}
+
+bool StallWatchdog::update_and_check(std::uint64_t now_ns) {
+  const auto readings = observer_.progress_sources().read();
+  // Rebuild the state map from the live sources so entries for
+  // unregistered sources cannot keep the stall verdict alive.
+  std::map<std::string, SourceState> next;
+  bool any_fresh = false;
+  const std::uint64_t timeout_ns =
+      static_cast<std::uint64_t>(options_.timeout_s * 1e9);
+  for (const auto& r : readings) {
+    SourceState st;
+    const auto prev = states_.find(r.name);
+    if (prev == states_.end() || prev->second.count != r.count) {
+      st.count = r.count;
+      st.last_change_ns = now_ns;
+    } else {
+      st = prev->second;
+    }
+    if (now_ns - st.last_change_ns < timeout_ns) any_fresh = true;
+    next.emplace(r.name, st);
+  }
+  states_ = std::move(next);
+  return !states_.empty() && !any_fresh;
+}
+
+std::string StallWatchdog::build_report(std::uint64_t now_ns,
+                                        bool stalled) const {
+  std::ostringstream out;
+  const auto idle_s = [&](const SourceState& st) {
+    return static_cast<double>(now_ns - st.last_change_ns) / 1e9;
+  };
+
+  out << "==== ddosrepro stall watchdog ====\n";
+  out << "t=" << util::format_fixed(static_cast<double>(now_ns) / 1e9, 3)
+      << "s since run start\n";
+  if (stalled) {
+    out << "STALL: no progress source advanced within "
+        << util::format_fixed(options_.timeout_s, 1) << " s\n";
+    // Suspected stall = the source that has been idle the longest; in a
+    // producer/consumer wedge the producer keeps ticking until the
+    // channel fills, so the consumer accumulates strictly more idle time.
+    const std::string* suspect = nullptr;
+    double suspect_idle = -1.0;
+    for (const auto& [name, st] : states_) {
+      if (idle_s(st) > suspect_idle) {
+        suspect_idle = idle_s(st);
+        suspect = &name;
+      }
+    }
+    if (suspect) {
+      out << "suspected stall: " << *suspect << " (idle "
+          << util::format_fixed(suspect_idle, 1) << " s)\n";
+    }
+  }
+
+  out << "progress sources (" << states_.size() << "):\n";
+  const auto readings = observer_.progress_sources().read();
+  for (const auto& r : readings) {
+    out << "  " << r.name << "  count=" << r.count;
+    const auto st = states_.find(r.name);
+    if (st != states_.end()) {
+      out << "  idle=" << util::format_fixed(idle_s(st->second), 1) << "s";
+    }
+    if (!r.detail.empty()) out << "  " << r.detail;
+    out << "\n";
+  }
+
+  const auto spans = active_spans();
+  out << "active spans (" << spans.size() << " threads):\n";
+  for (const auto& s : spans) {
+    out << "  thread " << s.thread_id % 100000 << ": " << s.name << " ("
+        << s.open_spans << " open)\n";
+  }
+
+  out << "metrics snapshot:\n" << observer_.metrics().snapshot().to_table();
+
+  if (options_.sampler != nullptr) {
+    constexpr std::size_t kTailPoints = 5;
+    const auto tails = options_.sampler->series().snapshot_tails(kTailPoints);
+    out << "telemetry tails (last " << kTailPoints << " points per series):\n";
+    for (const auto& series : tails) {
+      out << "  " << series.name << ":";
+      for (const auto& p : series.points) {
+        out << " " << util::format_fixed(p.value, 3);
+      }
+      out << "\n";
+    }
+  }
+  out << "==== end stall report ====\n";
+  return out.str();
+}
+
+void StallWatchdog::handle_stall(const std::string& report) {
+  if (options_.on_stall) {
+    options_.on_stall(report);
+    return;
+  }
+  std::cerr << report << std::flush;
+  if (!options_.crash_path.empty()) {
+    std::ofstream crash(options_.crash_path, std::ios::trunc);
+    crash << report;
+  }
+  std::abort();
+}
+
+}  // namespace ddos::obs

@@ -1,0 +1,104 @@
+// StallWatchdog — converts a hung pipeline into a diagnostic instead of a
+// silent wedge.
+//
+// Stages, channels, and the worker pool register monotonic progress
+// counters in the observer's ProgressRegistry. The watchdog polls them on
+// a background thread; if NO source advances within --watchdog-timeout-s,
+// it assembles a full diagnostic snapshot — every progress source with its
+// idle time and detail line (queue depth / watermark), the per-thread
+// active span, the metrics table, and the tails of the telemetry series
+// when a sampler is attached — names the most-idle source as the
+// suspected stall, and hands the report to on_stall. The default handler
+// writes the report to stderr and a crash file, then aborts; tests
+// override it to capture the report instead.
+//
+// While running, the watchdog enables active-span tracking (one relaxed
+// atomic load + branch per span when off) so the report can say what each
+// worker thread was doing at stall time.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/obs.h"
+#include "obs/sampler.h"
+
+namespace ddos::obs {
+
+struct WatchdogOptions {
+  /// A stall is declared when no progress source advances for this long.
+  double timeout_s = 60.0;
+  /// Poll cadence of the checker thread.
+  std::uint64_t poll_ms = 1000;
+  /// When non-empty, the default handler also writes the report here.
+  std::string crash_path;
+  /// Optional: include telemetry series tails in the report. Must outlive
+  /// the watchdog when set.
+  const TelemetrySampler* sampler = nullptr;
+  /// Stall handler. Default: report to stderr (+ crash_path), std::abort().
+  std::function<void(const std::string& report)> on_stall;
+};
+
+class StallWatchdog {
+ public:
+  /// The observer must outlive the watchdog.
+  StallWatchdog(Observer& observer, WatchdogOptions options);
+  ~StallWatchdog();
+
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  /// Starts the checker thread and enables active-span tracking.
+  void start();
+  /// Stops the thread and restores span tracking. Idempotent.
+  void stop();
+
+  /// One synchronous poll on the calling thread: updates per-source idle
+  /// state and returns the diagnostic report if the stall condition holds
+  /// right now, empty string otherwise. Does NOT invoke on_stall.
+  std::string check_now();
+
+  /// The diagnostic snapshot as it would appear in a stall report,
+  /// without the stall verdict line. Callable at any time.
+  std::string diagnostic_report() const;
+
+  /// True once on_stall has been invoked (at most once per watchdog).
+  bool fired() const { return fired_.load(std::memory_order_relaxed); }
+
+  const WatchdogOptions& options() const { return options_; }
+
+ private:
+  struct SourceState {
+    std::uint64_t count = 0;
+    std::uint64_t last_change_ns = 0;
+  };
+
+  void thread_main();
+  /// Under mu_: refresh source states; returns true when every source has
+  /// been idle >= timeout (and at least one source exists).
+  bool update_and_check(std::uint64_t now_ns);
+  std::string build_report(std::uint64_t now_ns, bool stalled) const;
+  void handle_stall(const std::string& report);
+
+  Observer& observer_;
+  WatchdogOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, SourceState> states_;
+  std::thread thread_;
+  // stop() notifies so the checker never sleeps out a full poll interval
+  // after the run has already finished.
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> fired_{false};
+  bool prev_span_tracking_ = false;
+};
+
+}  // namespace ddos::obs

@@ -1,6 +1,7 @@
 #include "scenario/driver.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -580,7 +581,7 @@ LongitudinalResult run_longitudinal_streaming(const LongitudinalConfig& config,
   exec::Channel<SweepTask> task_channel(options.channel_capacity);
   exec::Channel<SweptDay> swept_channel(options.channel_capacity);
 
-  exec::Stage plan_stage("stream.plan", [&] {
+  exec::Stage plan_stage("stream.plan", [&](exec::StageContext& ctx) {
     try {
       obs::ScopedSpan span(tracer, "stream.plan");
       for (const auto& [day, domains] : plan.days) {
@@ -588,6 +589,11 @@ LongitudinalResult run_longitudinal_streaming(const LongitudinalConfig& config,
         task.day = day;
         task.domains = domains.sorted_keys();
         if (!task_channel.push(std::move(task))) break;  // consumer died
+        ctx.tick();
+        if (observer) {
+          observer->pipeline.stream_plan_queue_depth.set(
+              static_cast<double>(task_channel.depth()));
+        }
       }
     } catch (...) {
       task_channel.close();
@@ -602,7 +608,7 @@ LongitudinalResult run_longitudinal_streaming(const LongitudinalConfig& config,
   sp.seed = config.sweep_seed;
   const openintel::Sweeper sweeper(world.registry, result.workload.schedule,
                                    sp);
-  exec::Stage sweep_stage("stream.sweep", [&] {
+  exec::Stage sweep_stage("stream.sweep", [&](exec::StageContext& ctx) {
     try {
       obs::ScopedSpan span(tracer, "stream.sweep");
       std::uint64_t swept = 0;
@@ -623,6 +629,15 @@ LongitudinalResult run_longitudinal_streaming(const LongitudinalConfig& config,
             });
         for (const auto& batch : out.batches) swept += batch.size();
         if (!swept_channel.push(std::move(out))) break;  // consumer died
+        ctx.tick();
+        // Queue depths refresh at the stage boundary too, so the sampler
+        // sees time-resolved depth even while the fold consumer is busy.
+        if (observer) {
+          observer->pipeline.stream_plan_queue_depth.set(
+              static_cast<double>(task_channel.depth()));
+          observer->pipeline.stream_sweep_queue_depth.set(
+              static_cast<double>(swept_channel.depth()));
+        }
       }
       span.set_items(swept);
     } catch (...) {
@@ -632,6 +647,40 @@ LongitudinalResult run_longitudinal_streaming(const LongitudinalConfig& config,
     }
     swept_channel.close();
   });
+
+  // Progress sources for the stall watchdog and the `progress.*` telemetry
+  // series: both stages, both channels (with queue-depth detail), the fold
+  // consumer, and the shared worker pool. Registered only when an observer
+  // is installed; all referenced state outlives these scoped handles.
+  obs::ProgressRegistry* progress_registry =
+      observer ? &observer->progress_sources() : nullptr;
+  std::atomic<std::uint64_t> fold_batches{0};
+  const obs::ScopedProgressSource plan_source(
+      progress_registry, "stream.plan",
+      [context = plan_stage.context()] { return context->progress(); });
+  const obs::ScopedProgressSource sweep_source(
+      progress_registry, "stream.sweep",
+      [context = sweep_stage.context()] { return context->progress(); });
+  const obs::ScopedProgressSource task_channel_source(
+      progress_registry, "channel.tasks",
+      [&task_channel] { return task_channel.progress(); },
+      [&task_channel] {
+        return "depth " + std::to_string(task_channel.depth()) + "/" +
+               std::to_string(task_channel.capacity());
+      });
+  const obs::ScopedProgressSource swept_channel_source(
+      progress_registry, "channel.swept",
+      [&swept_channel] { return swept_channel.progress(); },
+      [&swept_channel] {
+        return "depth " + std::to_string(swept_channel.depth()) + "/" +
+               std::to_string(swept_channel.capacity());
+      });
+  const obs::ScopedProgressSource fold_source(
+      progress_registry, "stream.fold",
+      [&fold_batches] { return fold_batches.load(std::memory_order_relaxed); });
+  const obs::ScopedProgressSource pool_source(
+      progress_registry, "exec.pool",
+      [] { return exec::global_pool().progress(); });
 
   // ---- Fold/join consumer (this thread).
   const std::uint64_t days_total = plan_days.size();
@@ -648,6 +697,7 @@ LongitudinalResult run_longitudinal_streaming(const LongitudinalConfig& config,
         result.store.add_batch(
             std::span<const openintel::Measurement>(batch), retention);
         result.swept_measurements += batch.size();
+        fold_batches.fetch_add(1, std::memory_order_relaxed);
       }
       ++days_done;
       const netsim::DayIndex next_plan_day =

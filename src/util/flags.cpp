@@ -32,9 +32,13 @@ void FlagParser::add_uint(const std::string& name, std::uint64_t default_value,
 }
 
 void FlagParser::add_double(const std::string& name, double default_value,
-                            std::string help) {
+                            std::string help, double min_value,
+                            double max_value) {
   const std::string v = format_fixed(default_value, 6);
-  flags_[name] = Flag{Type::Double, v, v, std::move(help)};
+  Flag flag{Type::Double, v, v, std::move(help)};
+  flag.min_double = min_value;
+  flag.max_double = max_value;
+  flags_[name] = std::move(flag);
 }
 
 void FlagParser::add_bool(const std::string& name, std::string help) {
@@ -81,8 +85,22 @@ bool FlagParser::set_value(const std::string& name, const std::string& value) {
     }
     case Type::Double: {
       double d = 0.0;
-      if (!parse_double(value, d)) {
-        error_ = "flag --" + name + " expects a number, got '" + value + "'";
+      if (!parse_double(value, d) || d < it->second.min_double ||
+          d > it->second.max_double) {
+        constexpr double kInf = std::numeric_limits<double>::infinity();
+        std::string expected = "a number";
+        if (it->second.min_double > -kInf || it->second.max_double < kInf) {
+          expected += " in ";
+          expected += it->second.min_double > -kInf
+                          ? "[" + format_fixed(it->second.min_double, 6)
+                          : "(-inf";
+          expected += ", ";
+          expected += it->second.max_double < kInf
+                          ? format_fixed(it->second.max_double, 6) + "]"
+                          : "inf)";
+        }
+        error_ = "flag --" + name + " expects " + expected + ", got '" +
+                 value + "'";
         return false;
       }
       break;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -27,8 +28,14 @@ class FlagParser {
   void add_uint(const std::string& name, std::uint64_t default_value,
                 std::string help, std::uint64_t min_value = 0,
                 std::uint64_t max_value = UINT64_MAX);
+  /// Double with optional inclusive range validation, matching add_uint's
+  /// behaviour: out-of-range or non-numeric values fail the parse with a
+  /// message naming the accepted range. Works for both `--name value` and
+  /// `--name=value` spellings (all flag types accept both).
   void add_double(const std::string& name, double default_value,
-                  std::string help);
+                  std::string help,
+                  double min_value = -std::numeric_limits<double>::infinity(),
+                  double max_value = std::numeric_limits<double>::infinity());
   void add_bool(const std::string& name, std::string help);
 
   /// Parse argv (excluding argv[0]). Returns false — with `error()` set —
@@ -58,6 +65,8 @@ class FlagParser {
     std::string help;
     std::uint64_t min_value = 0;           // Uint only
     std::uint64_t max_value = UINT64_MAX;  // Uint only
+    double min_double = -std::numeric_limits<double>::infinity();  // Double
+    double max_double = std::numeric_limits<double>::infinity();   // Double
   };
 
   bool set_value(const std::string& name, const std::string& value);

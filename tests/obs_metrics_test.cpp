@@ -186,5 +186,36 @@ TEST(Observer, ProgressThrottleAndForce) {
   EXPECT_EQ(emitted2, 2);
 }
 
+TEST(Observer, ProgressCompletionBypassesThrottle) {
+  // The 100% line must always be emitted: a completion event
+  // (days_done == days_total > 0) passes the throttle even when the
+  // caller forgot to force and the interval has not elapsed.
+  Observer obs;
+  int emitted = 0;
+  std::uint64_t last_done = 0;
+  obs.set_progress(
+      [&](const ProgressEvent& e) {
+        ++emitted;
+        last_done = e.days_done;
+      },
+      /*min_interval_ms=*/3600000);
+  ProgressEvent ev;
+  ev.days_total = 10;
+  ev.days_done = 1;
+  obs.emit_progress(ev);  // first always emits
+  ev.days_done = 5;
+  obs.emit_progress(ev);  // throttled
+  EXPECT_EQ(emitted, 1);
+  ev.days_done = 10;
+  obs.emit_progress(ev);  // completion: bypasses the throttle
+  EXPECT_EQ(emitted, 2);
+  EXPECT_EQ(last_done, 10u);
+
+  // days_total == 0 (unknown-length stage) is NOT a completion signal.
+  ProgressEvent open_ended;
+  obs.emit_progress(open_ended);
+  EXPECT_EQ(emitted, 2);
+}
+
 }  // namespace
 }  // namespace ddos::obs

@@ -133,5 +133,65 @@ TEST(Flags, NegativeAndScientificNumbers) {
   EXPECT_EQ(flags.get_int("count"), -5);
 }
 
+TEST(Flags, EqualsFormParsesEveryType) {
+  FlagParser flags("test tool");
+  flags.add_string("name", "default", "a string");
+  flags.add_int("count", 1, "an int");
+  flags.add_uint("threads", 2, "a uint", 1, 64);
+  flags.add_double("scale", 1.0, "a double");
+  flags.add_bool("verbose", "a bool");
+  ASSERT_TRUE(flags.parse({"--name=run7", "--count=-3", "--threads=8",
+                           "--scale=2.5", "--verbose=true"}))
+      << flags.error();
+  EXPECT_EQ(flags.get_string("name"), "run7");
+  EXPECT_EQ(flags.get_int("count"), -3);
+  EXPECT_EQ(flags.get_uint("threads"), 8u);
+  EXPECT_DOUBLE_EQ(flags.get_double("scale"), 2.5);
+  EXPECT_TRUE(flags.get_bool("verbose"));
+
+  // The space-separated and = forms are interchangeable per flag.
+  FlagParser mixed("test tool");
+  mixed.add_uint("interval-ms", 250, "sampling cadence", 10, 60000);
+  mixed.add_double("timeout-s", 0.0, "watchdog timeout", 0.0, 86400.0);
+  ASSERT_TRUE(mixed.parse({"--interval-ms=50", "--timeout-s", "30"}));
+  EXPECT_EQ(mixed.get_uint("interval-ms"), 50u);
+  EXPECT_DOUBLE_EQ(mixed.get_double("timeout-s"), 30.0);
+}
+
+TEST(Flags, DoubleRangeValidation) {
+  const auto make = [] {
+    FlagParser flags("test tool");
+    flags.add_double("timeout-s", 60.0, "watchdog timeout", 0.0, 86400.0);
+    return flags;
+  };
+  auto defaults = make();
+  ASSERT_TRUE(defaults.parse({}));
+  EXPECT_DOUBLE_EQ(defaults.get_double("timeout-s"), 60.0);
+
+  auto ok = make();
+  ASSERT_TRUE(ok.parse({"--timeout-s=0"}));  // inclusive bounds
+  EXPECT_DOUBLE_EQ(ok.get_double("timeout-s"), 0.0);
+
+  // Out of range: the error names the accepted interval.
+  auto below = make();
+  EXPECT_FALSE(below.parse({"--timeout-s=-1"}));
+  EXPECT_NE(below.error().find("in [0.000000, 86400.000000]"),
+            std::string::npos)
+      << below.error();
+
+  auto above = make();
+  EXPECT_FALSE(above.parse({"--timeout-s", "90000"}));
+
+  auto garbage = make();
+  EXPECT_FALSE(garbage.parse({"--timeout-s=soon"}));
+  EXPECT_NE(garbage.error().find("got 'soon'"), std::string::npos);
+
+  // Unbounded flags still accept any finite number.
+  FlagParser unbounded("test tool");
+  unbounded.add_double("offset", 0.0, "free range");
+  ASSERT_TRUE(unbounded.parse({"--offset=-1e9"}));
+  EXPECT_DOUBLE_EQ(unbounded.get_double("offset"), -1e9);
+}
+
 }  // namespace
 }  // namespace ddos::util

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics exposition produced by --metrics-format=openmetrics.
+
+Usage:
+    check_openmetrics.py <metrics.txt>
+
+A regex-level structural check (not a full OpenMetrics parser):
+  1. every line is a comment (# TYPE / # HELP / # EOF) or a sample line
+     ``name{labels} value`` with a legal metric name and a finite value;
+  2. every sample's family was declared by a preceding # TYPE line;
+  3. counter samples end in _total; histogram families expose _bucket
+     lines with le labels plus _count and _sum;
+  4. histogram _bucket sequences are cumulative (non-decreasing) and end
+     with an le="+Inf" bucket;
+  5. the last line is the mandatory ``# EOF`` terminator, exactly once.
+
+Exit 0 with a summary line on success, 1 with the first violation.
+Standard library only.
+"""
+
+import math
+import re
+import sys
+
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+TYPE_RE = re.compile(rf"^# TYPE ({NAME}) (counter|gauge|histogram|summary|"
+                     r"unknown|info|stateset|gaugehistogram)$")
+HELP_RE = re.compile(rf"^# HELP ({NAME}) .*$")
+LABELS = (r'\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+          r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\}')
+SAMPLE_RE = re.compile(
+    rf"^({NAME})({LABELS})? (-?[0-9.eE+-]+|[+-]?Inf|NaN)(?:\s[0-9.eE+-]+)?$")
+BUCKET_LE_RE = re.compile(r'le="([^"]*)"')
+
+
+def fail(msg):
+    print(f"OpenMetrics check FAILED: {msg}", file=sys.stderr)
+    return 1
+
+
+def family_of(name, kind):
+    """Strip the suffix a sample name carries on top of its family name."""
+    for suffix in ("_total", "_bucket", "_count", "_sum"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if base:
+                return base, suffix
+    return name, ""
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        lines = f.read().splitlines()
+
+    types = {}
+    samples = 0
+    eof_seen = False
+    buckets = {}  # family -> list of (le_string, cumulative_count)
+    for lineno, line in enumerate(lines, 1):
+        if eof_seen:
+            return fail(f"line {lineno}: content after # EOF terminator")
+        if line == "# EOF":
+            eof_seen = True
+            continue
+        if not line.strip():
+            continue
+        m = TYPE_RE.match(line)
+        if m:
+            family = m.group(1)
+            if family in types:
+                return fail(f"line {lineno}: duplicate # TYPE for {family}")
+            types[family] = m.group(2)
+            continue
+        if HELP_RE.match(line):
+            continue
+        if line.startswith("#"):
+            return fail(f"line {lineno}: unrecognised comment line: {line!r}")
+        m = SAMPLE_RE.match(line)
+        if not m:
+            return fail(f"line {lineno}: not a valid sample line: {line!r}")
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        try:
+            v = float(value)
+        except ValueError:
+            return fail(f"line {lineno}: unparseable value {value!r}")
+        if not math.isfinite(v):
+            return fail(f"line {lineno}: non-finite value {value!r}")
+
+        # Resolve the sample back to its declared family.
+        candidates = [name]
+        base, suffix = family_of(name, None)
+        if suffix:
+            candidates.append(base)
+        family = next((c for c in candidates if c in types), None)
+        if family is None:
+            return fail(f"line {lineno}: sample {name!r} has no preceding "
+                        f"# TYPE declaration")
+        kind = types[family]
+        if kind == "counter" and not name.endswith("_total"):
+            return fail(f"line {lineno}: counter sample {name!r} must end "
+                        f"in _total")
+        if kind == "histogram" and name.endswith("_bucket"):
+            le = BUCKET_LE_RE.search(labels)
+            if not le:
+                return fail(f"line {lineno}: histogram bucket without an "
+                            f"le label: {line!r}")
+            buckets.setdefault(family, []).append((le.group(1), v))
+        samples += 1
+
+    if not eof_seen:
+        return fail("missing # EOF terminator")
+    if samples == 0:
+        return fail("no sample lines")
+
+    for family, seq in buckets.items():
+        counts = [c for _, c in seq]
+        if counts != sorted(counts):
+            return fail(f"histogram {family}: bucket counts not cumulative: "
+                        f"{counts}")
+        if seq[-1][0] != "+Inf":
+            return fail(f"histogram {family}: bucket sequence does not end "
+                        f'with le="+Inf" (ends with le="{seq[-1][0]}")')
+
+    kinds = {}
+    for k in types.values():
+        kinds[k] = kinds.get(k, 0) + 1
+    summary = ", ".join(f"{n} {k}" for k, n in sorted(kinds.items()))
+    print(f"OpenMetrics check passed: {samples} samples across "
+          f"{len(types)} families ({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -14,15 +14,45 @@ runner-sensitive to gate on.
 
 ``guarded_max`` entries are lower-is-better hard ceilings, checked without
 tolerance: the value in the baseline file IS the limit. The streaming
-pipeline's ``peak_rss_ratio`` lives here — the streaming run must peak at
-no more than half the materialized run's RSS, and the measured margin
-(~0.3 on the reference box) is the tolerance.
+pipeline's ``peak_rss_ratio`` lives here (streaming must peak at no more
+than half the materialized run's RSS), as does ``sampler_overhead_pct``
+(the telemetry sampler's sample bodies must cost < 1% of run wall clock
+at the default 250 ms cadence).
+
+A guarded key that is MISSING from the candidate JSON is a hard failure,
+not a silent skip: a renamed or dropped metric would otherwise disable
+its own gate. On any failure the script prints a full key-by-key
+comparison table (baseline keys x candidate results) to stderr so the log
+shows exactly which keys exist on each side.
 
 Only the standard library is used so the script runs on a bare CI image.
 """
 
 import json
 import sys
+
+
+def comparison_table(results, baseline):
+    """Every key from either side, one row each: kind, baseline, candidate."""
+    kinds = {}
+    for kind in ("guarded", "guarded_max", "informational"):
+        for name in baseline.get(kind, {}):
+            kinds[name] = kind
+    names = sorted(set(kinds) | set(results))
+    rows = [("key", "kind", "baseline", "candidate")]
+    for name in names:
+        kind = kinds.get(name, "-")
+        base = baseline.get(kinds[name], {}).get(name) if name in kinds else None
+        measured = results.get(name)
+        fmt = lambda v: f"{v:.6g}" if isinstance(v, (int, float)) else "MISSING"
+        rows.append((name, kind, fmt(base), fmt(measured)))
+    widths = [max(len(row[col]) for row in rows) for col in range(4)]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
 
 
 def main(argv):
@@ -41,7 +71,11 @@ def main(argv):
     for name, base in sorted(baseline.get("guarded", {}).items()):
         measured = results.get(name)
         if measured is None:
-            failures.append(f"{name}: missing from bench results")
+            print(f"{name}: MISSING from candidate results "
+                  f"(guarded, baseline {base:.6g}) -> FAILED")
+            failures.append(
+                f"{name}: guarded key missing from candidate JSON — the gate "
+                f"cannot run; was the metric renamed or dropped?")
             continue
         floor = float(base) * (1.0 - tolerance)
         ratio = float(measured) / float(base)
@@ -56,7 +90,11 @@ def main(argv):
     for name, ceiling in sorted(baseline.get("guarded_max", {}).items()):
         measured = results.get(name)
         if measured is None:
-            failures.append(f"{name}: missing from bench results")
+            print(f"{name}: MISSING from candidate results "
+                  f"(guarded_max, ceiling {ceiling:.6g}) -> FAILED")
+            failures.append(
+                f"{name}: guarded_max key missing from candidate JSON — the "
+                f"gate cannot run; was the metric renamed or dropped?")
             continue
         verdict = "OK" if float(measured) <= float(ceiling) else "EXCEEDED"
         print(f"{name}: measured {measured:.6g} vs ceiling {ceiling:.6g} "
@@ -74,6 +112,8 @@ def main(argv):
         print("\nperf regression check FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
+        print("\nfull key-by-key comparison:", file=sys.stderr)
+        print(comparison_table(results, baseline), file=sys.stderr)
         return 1
     print("\nperf regression check passed")
     return 0

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate a --telemetry-out JSONL stream from a ddosrepro run.
+
+Usage:
+    check_telemetry_jsonl.py <run.jsonl> [--min-series N]
+
+Checks, in order:
+  1. every line parses as a JSON object of shape
+     {"t_ms": <number>, "values": {<series>: <number>, ...}};
+  2. t_ms is strictly monotonically increasing across samples;
+  3. at least --min-series distinct series keys appear (default 20);
+  4. required series are present: at least one stream.* gauge (queue
+     depths / watermarks from the streaming pipeline), proc.vm_rss_bytes,
+     and at least one progress.* source;
+  5. every value is a finite number (no NaN/Inf leaked into the stream).
+
+Exit 0 on success with a one-line summary; exit 1 with the first
+violation otherwise. Standard library only.
+"""
+
+import json
+import math
+import sys
+
+
+def fail(msg):
+    print(f"telemetry JSONL check FAILED: {msg}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = argv[1]
+    min_series = 20
+    if "--min-series" in argv:
+        min_series = int(argv[argv.index("--min-series") + 1])
+
+    series = set()
+    samples = 0
+    prev_t = None
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                return fail(f"line {lineno}: not valid JSON ({e})")
+            if not isinstance(obj, dict) or "t_ms" not in obj \
+                    or "values" not in obj:
+                return fail(f"line {lineno}: expected "
+                            '{"t_ms":..,"values":{..}}')
+            t = obj["t_ms"]
+            if not isinstance(t, (int, float)) or not math.isfinite(t):
+                return fail(f"line {lineno}: t_ms is not a finite number")
+            if prev_t is not None and t <= prev_t:
+                return fail(f"line {lineno}: t_ms {t} not strictly greater "
+                            f"than previous sample's {prev_t}")
+            prev_t = t
+            values = obj["values"]
+            if not isinstance(values, dict) or not values:
+                return fail(f"line {lineno}: values is not a non-empty object")
+            for key, v in values.items():
+                if not isinstance(v, (int, float)) or not math.isfinite(v):
+                    return fail(f"line {lineno}: series {key!r} has "
+                                f"non-finite value {v!r}")
+                series.add(key)
+            samples += 1
+
+    if samples == 0:
+        return fail("no samples in stream")
+    if len(series) < min_series:
+        return fail(f"only {len(series)} distinct series, expected >= "
+                    f"{min_series}: {sorted(series)}")
+    required_groups = {
+        "stream.* queue/watermark gauge":
+            [s for s in series if s.startswith("stream.")],
+        "proc.vm_rss_bytes": [s for s in series if s == "proc.vm_rss_bytes"],
+        "progress.* source": [s for s in series if s.startswith("progress.")],
+    }
+    for what, matches in required_groups.items():
+        if not matches:
+            return fail(f"required series missing: no {what} "
+                        f"(saw {len(series)} series)")
+
+    print(f"telemetry JSONL check passed: {samples} samples, "
+          f"{len(series)} series "
+          f"({len(required_groups['progress.* source'])} progress, "
+          f"{len(required_groups['stream.* queue/watermark gauge'])} stream)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

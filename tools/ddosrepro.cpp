@@ -29,9 +29,18 @@
 // latter only bounding how long retired-eligible days linger.
 //
 // Observability (run): --metrics-out writes a run-report JSON (config,
-// stage timings, metric snapshot, headline results), --trace-out writes a
-// Chrome trace_event file (open in chrome://tracing or Perfetto), and
-// --progress emits a one-line heartbeat per simulated sweep day on stderr.
+// stage timings, metric snapshot, headline results) — or, with
+// --metrics-format=openmetrics, a Prometheus-style text exposition —
+// --trace-out writes a Chrome trace_event file (open in chrome://tracing
+// or Perfetto), and --progress emits a one-line heartbeat per simulated
+// sweep day on stderr.
+//
+// Time-resolved telemetry (run): --telemetry-out streams one JSONL sample
+// of every metric/progress/process series per --telemetry-interval-ms;
+// --dashboard-out renders a self-contained HTML dashboard (sparklines +
+// stage timeline, no external assets); --watchdog-timeout-s N aborts with
+// a full diagnostic dump if no pipeline stage makes progress for N
+// seconds (0 disables).
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -44,8 +53,11 @@
 #include "core/audit.h"
 #include "core/export.h"
 #include "dns/zonefile.h"
+#include "obs/export_html.h"
 #include "obs/obs.h"
 #include "obs/report.h"
+#include "obs/sampler.h"
+#include "obs/watchdog.h"
 #include "scenario/driver.h"
 #include "scenario/russia.h"
 #include "scenario/transip.h"
@@ -191,17 +203,57 @@ int cmd_run(util::FlagParser& flags) {
   exec::set_global_threads(threads);
 
   const std::string metrics_path = flags.get_string("metrics-out");
+  const std::string metrics_format = flags.get_string("metrics-format");
   const std::string trace_path = flags.get_string("trace-out");
+  const std::string telemetry_path = flags.get_string("telemetry-out");
+  const std::string dashboard_path = flags.get_string("dashboard-out");
+  const double watchdog_timeout_s = flags.get_double("watchdog-timeout-s");
   const bool progress = flags.get_bool("progress");
 
-  // Observability is opt-in: with none of the three flags present, no
-  // observer is installed and the pipeline runs uninstrumented.
+  if (metrics_format != "json" && metrics_format != "openmetrics") {
+    std::cerr << "--metrics-format must be json or openmetrics, got '"
+              << metrics_format << "'\n";
+    return 2;
+  }
+
+  // Observability is opt-in: with none of the flags present, no observer
+  // is installed and the pipeline runs uninstrumented (and bit-identically
+  // to an instrumented run — telemetry never feeds back into results).
   std::optional<obs::Observer> observer;
   std::optional<obs::ScopedInstall> install;
-  if (progress || !metrics_path.empty() || !trace_path.empty()) {
+  if (progress || !metrics_path.empty() || !trace_path.empty() ||
+      !telemetry_path.empty() || !dashboard_path.empty() ||
+      watchdog_timeout_s > 0.0) {
     observer.emplace();
     if (progress) observer->set_progress(print_progress);
     install.emplace(*observer);
+  }
+
+  // Background telemetry sampler: needed by --telemetry-out (JSONL stream)
+  // and --dashboard-out (sparkline series).
+  std::optional<obs::TelemetrySampler> sampler;
+  if (!telemetry_path.empty() || !dashboard_path.empty()) {
+    obs::SamplerOptions sopts;
+    sopts.interval_ms = flags.get_uint("telemetry-interval-ms");
+    sopts.capacity_per_series =
+        static_cast<std::size_t>(flags.get_uint("telemetry-capacity"));
+    sopts.jsonl_path = telemetry_path;
+    sampler.emplace(*observer, sopts);
+    sampler->start();
+  }
+
+  // Stall watchdog: aborts with a diagnostic dump when no registered
+  // progress source advances within the timeout.
+  std::optional<obs::StallWatchdog> watchdog;
+  if (watchdog_timeout_s > 0.0) {
+    obs::WatchdogOptions wopts;
+    wopts.timeout_s = watchdog_timeout_s;
+    wopts.poll_ms = std::max<std::uint64_t>(
+        50, static_cast<std::uint64_t>(watchdog_timeout_s * 1000.0 / 4.0));
+    wopts.crash_path = "ddosrepro_stall_report.txt";
+    wopts.sampler = sampler ? &*sampler : nullptr;
+    watchdog.emplace(*observer, wopts);
+    watchdog->start();
   }
 
   const bool streaming = flags.get_bool("streaming");
@@ -227,6 +279,10 @@ int cmd_run(util::FlagParser& flags) {
     std::cerr << "store error: " << e.what() << "\n";
     return 1;
   }
+  // The run is done: the watchdog must not treat report writing as a
+  // stall, and the sampler's stop() takes the final end-of-run sample.
+  if (watchdog) watchdog->stop();
+  if (sampler) sampler->stop();
   print_pipeline_line(r.workload.schedule.size(), r.feed_records,
                       r.events.size(), r.joined.size(), r.swept_measurements);
   print_analysis(r.joined);
@@ -275,7 +331,46 @@ int cmd_run(util::FlagParser& flags) {
     std::cout << "wrote " << observer->tracer().event_count()
               << " trace spans to " << trace_path << "\n";
   }
-  if (!metrics_path.empty()) {
+  if (sampler && !telemetry_path.empty()) {
+    std::cout << "wrote " << sampler->samples_taken() << " telemetry samples ("
+              << sampler->series().series_count() << " series) to "
+              << telemetry_path << "\n";
+  }
+  if (!dashboard_path.empty()) {
+    obs::DashboardOptions dopts;
+    dopts.title = "ddosrepro run (seed " +
+                  std::to_string(flags.get_int("seed")) + ")";
+    dopts.meta = {
+        {"seed", std::to_string(flags.get_int("seed"))},
+        {"domains", std::to_string(flags.get_int("domains"))},
+        {"providers", std::to_string(flags.get_int("providers"))},
+        {"scale", util::format_fixed(flags.get_double("scale"), 2)},
+        {"threads", std::to_string(threads)},
+        {"pipeline", streaming ? "streaming" : "materialized"},
+        {"wall time",
+         util::format_fixed(
+             static_cast<double>(observer->tracer().now_ns()) / 1e9, 2) +
+             " s"},
+        {"joined events", std::to_string(r.joined.size())},
+        {"swept measurements", util::with_commas(r.swept_measurements)},
+    };
+    if (!obs::write_dashboard_html_file(dashboard_path, *observer,
+                                        sampler ? &*sampler : nullptr,
+                                        dopts)) {
+      std::cerr << "cannot write " << dashboard_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote run dashboard to " << dashboard_path << "\n";
+  }
+  if (!metrics_path.empty() && metrics_format == "openmetrics") {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    out << observer->metrics().snapshot().to_openmetrics();
+    std::cout << "wrote OpenMetrics exposition to " << metrics_path << "\n";
+  } else if (!metrics_path.empty()) {
     obs::RunReport report("run");
     report.add_config("seed", flags.get_int("seed"));
     report.add_config("domains", flags.get_int("domains"));
@@ -468,6 +563,28 @@ int main(int argc, char** argv) {
                    "chrome://tracing)");
   flags.add_bool("progress",
                  "print a per-sweep-day heartbeat line on stderr (run)");
+  flags.add_string("metrics-format", "json",
+                   "format for --metrics-out: json (run report) or "
+                   "openmetrics (Prometheus text exposition) (run)");
+  flags.add_string("telemetry-out", "",
+                   "JSONL time-series output path: one sample of every "
+                   "metric/progress/process series per interval (run)");
+  flags.add_uint("telemetry-interval-ms", 250,
+                 "telemetry sampling cadence in milliseconds (run with "
+                 "--telemetry-out/--dashboard-out)",
+                 10, 60000);
+  flags.add_uint("telemetry-capacity", 4096,
+                 "in-memory ring capacity per telemetry series; memory "
+                 "bound is series x capacity x 16 bytes (run)",
+                 2, 1 << 22);
+  flags.add_string("dashboard-out", "",
+                   "self-contained HTML run dashboard output path: "
+                   "sparklines + stage timeline, no external assets (run)");
+  flags.add_double("watchdog-timeout-s", 0.0,
+                   "abort with a full diagnostic dump when no pipeline "
+                   "stage makes progress for this many seconds; 0 "
+                   "disables (run)",
+                   0.0, 86400.0);
 
   if (!flags.parse(argc - 1, argv + 1)) {
     std::cerr << flags.error() << "\n" << flags.usage();
