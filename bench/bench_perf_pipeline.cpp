@@ -33,6 +33,8 @@
 #include "dns/resolver.h"
 #include "openintel/sweeper.h"
 #include "scenario/driver.h"
+#include "serve/driver.h"
+#include "serve/query_engine.h"
 #include "telescope/feed.h"
 #include "topology/prefix_table.h"
 
@@ -467,6 +469,22 @@ void write_pipeline_json(const char* path, const PeakRss& peaks) {
     join_probe_ns = static_cast<double>(wall_ns(t0, t1)) /
                     static_cast<double>(kProbes);
   }
+  // Serve-layer throughput: build the query engine over the N-thread run
+  // and hammer it with a point-lookup-only fixed-ops drive at hardware
+  // width. serve_lookups_per_sec is a guarded_min hard floor in
+  // bench/baseline_perf.json (>= 1M lookups/sec); the latency quantile is
+  // informational (too runner-sensitive to gate).
+  const auto build_start = std::chrono::steady_clock::now();
+  const serve::QueryEngine engine(result);
+  const auto build_end = std::chrono::steady_clock::now();
+  serve::DriveOptions serve_opts;
+  serve_opts.workload.dist = serve::Distribution::Zipfian;
+  serve_opts.workload.mix = {1, 0, 0};  // point lookups only
+  serve_opts.ops_per_thread = 500000;
+  const serve::DriveReport serve_report = serve::drive(engine, serve_opts);
+  const double serve_lookups_per_sec = serve_report.by_type[0].ops_per_sec;
+  const double serve_p99_us = serve_report.by_type[0].p99_us;
+
   const auto mbps = [store_bytes](std::uint64_t ns) {
     return ns > 0 ? static_cast<double>(store_bytes) * 1e3 /
                         static_cast<double>(ns)
@@ -503,6 +521,15 @@ void write_pipeline_json(const char* path, const PeakRss& peaks) {
                     static_cast<std::int64_t>(stream.size()));
   report.add_result("ingest_measurements_per_sec", ingest_per_sec);
   report.add_result("join_probe_ns", join_probe_ns);
+  report.add_result("serve_build_ns",
+                    static_cast<std::int64_t>(wall_ns(build_start,
+                                                      build_end)));
+  report.add_result("serve_ops", static_cast<std::int64_t>(
+                                     serve_report.total_ops));
+  report.add_result("serve_threads",
+                    static_cast<std::int64_t>(serve_report.threads));
+  report.add_result("serve_lookups_per_sec", serve_lookups_per_sec);
+  report.add_result("serve_p99_us", serve_p99_us);
   report.add_result("peak_rss_bytes_streaming",
                     static_cast<std::int64_t>(peaks.streaming_bytes));
   report.add_result("peak_rss_bytes_materialized",
@@ -537,7 +564,10 @@ void write_pipeline_json(const char* path, const PeakRss& peaks) {
             << "x; store write " << mbps(store_write_ns) << " MB/s, read "
             << mbps(store_read_ns) << " MB/s; ingest "
             << ingest_per_sec / 1e6 << " M meas/s; join probe "
-            << join_probe_ns << " ns; peak RSS streaming "
+            << join_probe_ns << " ns; serve "
+            << serve_lookups_per_sec / 1e6 << " M lookups/s at "
+            << serve_report.threads << " threads, p99 " << serve_p99_us
+            << " us; peak RSS streaming "
             << peaks.streaming_bytes / (1024.0 * 1024.0)
             << " MiB vs materialized "
             << peaks.materialized_bytes / (1024.0 * 1024.0) << " MiB = "

@@ -293,16 +293,23 @@ std::string MetricsSnapshot::to_openmetrics() const {
         break;
       case MetricKind::Histogram: {
         // Cumulative le-buckets over the non-empty bins; the +Inf bucket
-        // equals _count by construction.
+        // equals _count by construction. Bucket lines carry the series'
+        // own labels plus le, so labelled variants of one family (e.g.
+        // per-query-type latency) stay distinct cumulative sequences.
+        const std::string bucket_open =
+            labels.empty()
+                ? std::string("{le=\"")
+                : labels.substr(0, labels.size() - 1) + ",le=\"";
         std::uint64_t cumulative = 0;
         double approx_sum = 0.0;
         for (const auto& b : s.bins) {
           cumulative += b.count;
           approx_sum += std::sqrt(b.lo * b.hi) * static_cast<double>(b.count);
-          out << family << "_bucket{le=\"" << format_number(b.hi) << "\"} "
-              << cumulative << "\n";
+          out << family << "_bucket" << bucket_open << format_number(b.hi)
+              << "\"} " << cumulative << "\n";
         }
-        out << family << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+        out << family << "_bucket" << bucket_open << "+Inf\"} " << cumulative
+            << "\n";
         out << family << "_count" << labels << " " << cumulative << "\n";
         out << family << "_sum" << labels << " " << format_number(approx_sum)
             << "\n";

@@ -1,0 +1,82 @@
+// Closed-loop load driver for the serve QueryEngine, run on the
+// exec::WorkerPool.
+//
+// drive() publishes one region to the pool: every participant (the caller
+// plus thread_count()-1 workers) runs its own closed loop — generate op,
+// execute against the shared const engine, time it, fold the answer into
+// a per-thread fingerprint — until its op budget (fixed-ops mode) or the
+// shared deadline (duration mode) is reached. The engine is never written
+// after build, each participant owns all of its mutable state (Workload
+// stream, latency histograms, TopK scratch, fingerprint), so the hot loop
+// takes no locks and shares no cache lines: the YCSB shared-nothing
+// discipline.
+//
+// Determinism: participant t's op stream is Workload(seed, t), so in
+// fixed-ops mode the per-thread answer fingerprints are a pure function
+// of (engine contents, seed, thread count) — re-runs must match exactly,
+// which is what makes `ddosrepro serve` a regression gate and not just a
+// throughput meter. In duration mode the op count is wall-clock-bound, so
+// only the stream prefix property holds (tested per-thread, not end-state).
+//
+// Latency accounting: one steady_clock read per op (the closed loop reuses
+// the previous op's end timestamp as the next op's start), folded into
+// per-thread per-query-type util::LogHistograms that are merged after the
+// region — p50/p99/p999 come from LogHistogram::quantile over the merged
+// distribution, and the merged histograms are republished through the
+// installed obs::Observer (serve.latency_us{query=...}) so --metrics-out
+// and the dashboard see them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "serve/query_engine.h"
+#include "serve/workload.h"
+#include "util/histogram.h"
+
+namespace ddos::serve {
+
+struct DriveOptions {
+  WorkloadSpec workload;  // day_min/day_max are overwritten from the engine
+  /// Per-thread fixed op budget; > 0 selects deterministic fixed-ops mode
+  /// (takes precedence over duration_s).
+  std::uint64_t ops_per_thread = 0;
+  /// Wall-clock budget for duration mode (used when ops_per_thread == 0).
+  double duration_s = 2.0;
+};
+
+/// Merged per-query-type outcome.
+struct QueryTypeReport {
+  QueryType type = QueryType::PointLookup;
+  std::uint64_t ops = 0;
+  double ops_per_sec = 0.0;  // ops / region wall (0 when ops == 0)
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+};
+
+struct DriveReport {
+  unsigned threads = 0;
+  double wall_s = 0.0;
+  std::uint64_t total_ops = 0;
+  double ops_per_sec = 0.0;
+  std::array<QueryTypeReport, kQueryTypeCount> by_type;
+
+  /// Per-participant answer fingerprints (index == thread id) and their
+  /// order-fixed combination. Equal runs must produce equal fingerprints.
+  std::vector<std::uint64_t> thread_fingerprints;
+  std::vector<std::uint64_t> thread_ops;
+  std::uint64_t fingerprint = 0;
+};
+
+/// Fold one value into a running answer fingerprint (mix64 chain; doubles
+/// enter through their bit pattern so the fold is exact, not rounded).
+std::uint64_t fingerprint_fold(std::uint64_t fp, std::uint64_t value);
+std::uint64_t fingerprint_fold(std::uint64_t fp, double value);
+
+/// Run the load driver against `engine` on the global worker pool.
+/// Blocks until every participant finishes; safe to call repeatedly.
+DriveReport drive(const QueryEngine& engine, const DriveOptions& options);
+
+}  // namespace ddos::serve

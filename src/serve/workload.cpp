@@ -1,0 +1,116 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+namespace ddos::serve {
+
+const char* to_string(Distribution dist) {
+  switch (dist) {
+    case Distribution::Uniform: return "uniform";
+    case Distribution::Zipfian: return "zipfian";
+  }
+  return "?";
+}
+
+std::optional<Distribution> parse_distribution(std::string_view name) {
+  if (name == "uniform") return Distribution::Uniform;
+  if (name == "zipfian") return Distribution::Zipfian;
+  return std::nullopt;
+}
+
+const char* to_string(QueryType type) {
+  switch (type) {
+    case QueryType::PointLookup: return "point";
+    case QueryType::TopK: return "topk";
+    case QueryType::WindowScan: return "scan";
+  }
+  return "?";
+}
+
+std::string QueryMix::to_string() const {
+  return std::to_string(point) + ":" + std::to_string(topk) + ":" +
+         std::to_string(scan);
+}
+
+std::optional<QueryMix> parse_mix(std::string_view spec) {
+  std::uint32_t parts[3] = {0, 0, 0};
+  std::size_t begin = 0;
+  for (int i = 0; i < 3; ++i) {
+    const std::size_t end =
+        i < 2 ? spec.find(':', begin) : spec.size();
+    if (end == std::string_view::npos) return std::nullopt;
+    const std::string_view field = spec.substr(begin, end - begin);
+    if (field.empty()) return std::nullopt;
+    const auto [ptr, ec] = std::from_chars(
+        field.data(), field.data() + field.size(), parts[i]);
+    if (ec != std::errc{} || ptr != field.data() + field.size()) {
+      return std::nullopt;
+    }
+    begin = end + 1;
+  }
+  QueryMix mix;
+  mix.point = parts[0];
+  mix.topk = parts[1];
+  mix.scan = parts[2];
+  if (mix.total() == 0) return std::nullopt;
+  return mix;
+}
+
+KeyChooser::KeyChooser(Distribution dist, std::uint64_t n, double theta)
+    : dist_(dist), n_(n) {
+  if (n == 0) throw std::invalid_argument("KeyChooser: empty key universe");
+  if (dist == Distribution::Zipfian) zipf_.emplace(n, theta);
+}
+
+std::uint64_t KeyChooser::next_rank(netsim::Rng& rng) const {
+  if (dist_ == Distribution::Uniform) return rng.uniform_u64(n_);
+  return zipf_->sample(rng) - 1;  // sampler ranks are 1-based
+}
+
+std::uint64_t KeyChooser::scatter(std::uint64_t rank, std::uint64_t n) {
+  return netsim::mix64(rank) % n;
+}
+
+Workload::Workload(const WorkloadSpec& spec, std::uint64_t key_count,
+                   unsigned thread_id)
+    : spec_(spec),
+      rng_(netsim::Rng(spec.seed).split(thread_id)),
+      chooser_(spec.dist, key_count, spec.theta) {}
+
+Op Workload::next() {
+  Op op;
+  const std::uint32_t roll =
+      static_cast<std::uint32_t>(rng_.uniform_u64(spec_.mix.total()));
+  if (roll < spec_.mix.point) {
+    op.type = QueryType::PointLookup;
+    op.key_index = chooser_.next_index(rng_);
+  } else if (roll < spec_.mix.point + spec_.mix.topk) {
+    op.type = QueryType::TopK;
+    op.k = spec_.topk_k;
+    // Round-robin over the three leaderboards, phase-shifted per op so the
+    // metric choice stays deterministic without burning another draw.
+    op.metric = static_cast<std::uint8_t>(ops_ % 3);
+  } else {
+    op.type = QueryType::WindowScan;
+    if (spec_.day_max < spec_.day_min) {
+      op.day_lo = 0;
+      op.day_hi = -1;  // engine clamps to its (empty) range
+    } else {
+      const netsim::DayIndex span = spec_.day_max - spec_.day_min + 1;
+      const netsim::DayIndex width =
+          std::min<netsim::DayIndex>(std::max<netsim::DayIndex>(
+                                         spec_.scan_days, 1),
+                                     span);
+      op.day_lo = spec_.day_min +
+                  static_cast<netsim::DayIndex>(rng_.uniform_u64(
+                      static_cast<std::uint64_t>(span - width + 1)));
+      op.day_hi = op.day_lo + width - 1;
+    }
+  }
+  ++ops_;
+  return op;
+}
+
+}  // namespace ddos::serve

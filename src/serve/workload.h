@@ -1,0 +1,130 @@
+// YCSB-style workload generation for the serve layer (after My-YCSB's
+// Workload/UniformWorkload/ZipfianWorkload closed-loop generators).
+//
+// A Workload is a per-thread deterministic op stream: thread t of a run
+// seeded S draws every random choice — query type, key rank, scan window —
+// from netsim::Rng(S).split(t), so the op sequence is a pure function of
+// (seed, thread) and re-runs reproduce it exactly regardless of wall-clock
+// interleaving. The driver (serve/driver.h) folds every answer into a
+// per-thread fingerprint; equal sequences must produce equal fingerprints
+// or the engine's determinism contract is broken.
+//
+// Key choice. Ranks are drawn either uniformly over [0, n) or from the
+// paper-standard Zipfian(theta) distribution (netsim::ZipfSampler,
+// rejection-inversion — O(1) per sample, any theta > 0 including 1). Rank
+// r is then scattered over the key space with a stateless mix so that
+// popular ranks land on uncorrelated keys (My-YCSB uses an FNV hash for
+// the same reason): scatter(r, n) = mix64(r) % n. Tests sample next_rank
+// directly for distribution shape and next_index for spread.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netsim/rng.h"
+#include "netsim/simtime.h"
+
+namespace ddos::serve {
+
+enum class Distribution { Uniform, Zipfian };
+
+const char* to_string(Distribution dist);
+/// "uniform"/"zipfian" -> Distribution; nullopt otherwise.
+std::optional<Distribution> parse_distribution(std::string_view name);
+
+enum class QueryType : std::uint8_t {
+  PointLookup = 0,
+  TopK = 1,
+  WindowScan = 2,
+};
+inline constexpr std::size_t kQueryTypeCount = 3;
+
+const char* to_string(QueryType type);
+
+/// Relative operation weights, the "95:4:1" CLI spec.
+struct QueryMix {
+  std::uint32_t point = 95;
+  std::uint32_t topk = 4;
+  std::uint32_t scan = 1;
+
+  std::uint32_t total() const { return point + topk + scan; }
+  std::string to_string() const;
+};
+
+/// Parse "P:T:S" (non-negative integers, at least one positive);
+/// nullopt on malformed input.
+std::optional<QueryMix> parse_mix(std::string_view spec);
+
+/// Per-thread key-rank chooser over a key universe of size n (> 0).
+class KeyChooser {
+ public:
+  KeyChooser(Distribution dist, std::uint64_t n, double theta);
+
+  /// Rank in [0, n); under Zipfian, rank 0 is the most probable and
+  /// frequency decays as (rank+1)^-theta.
+  std::uint64_t next_rank(netsim::Rng& rng) const;
+
+  /// scatter(next_rank()): the rank mapped onto an uncorrelated key-space
+  /// index, so hot keys are spread across the universe.
+  std::uint64_t next_index(netsim::Rng& rng) const {
+    return scatter(next_rank(rng), n_);
+  }
+
+  /// Stateless rank -> index permutation-ish spread (mix64 mod n; ranks
+  /// may collide on one index, exactly like YCSB's fnv scramble).
+  static std::uint64_t scatter(std::uint64_t rank, std::uint64_t n);
+
+  std::uint64_t n() const { return n_; }
+  Distribution distribution() const { return dist_; }
+
+ private:
+  Distribution dist_;
+  std::uint64_t n_;
+  std::optional<netsim::ZipfSampler> zipf_;  // Zipfian only
+};
+
+/// Everything a Workload stream needs; the driver fills day_min/day_max
+/// from the engine's window index.
+struct WorkloadSpec {
+  std::uint64_t seed = 42;
+  Distribution dist = Distribution::Zipfian;
+  double theta = 0.99;
+  QueryMix mix;
+  std::uint32_t topk_k = 10;
+  /// WindowScan width in days; windows are placed uniformly inside
+  /// [day_min, day_max].
+  netsim::DayIndex scan_days = 30;
+  netsim::DayIndex day_min = 0;
+  netsim::DayIndex day_max = -1;
+};
+
+/// One generated operation.
+struct Op {
+  QueryType type = QueryType::PointLookup;
+  std::uint64_t key_index = 0;     // PointLookup: index into engine keys()
+  std::uint32_t k = 0;             // TopK
+  std::uint8_t metric = 0;         // TopK: TopKMetric, round-robins 0..2
+  netsim::DayIndex day_lo = 0;     // WindowScan
+  netsim::DayIndex day_hi = -1;
+};
+
+/// The per-thread op stream: deterministic in (spec.seed, thread_id).
+class Workload {
+ public:
+  Workload(const WorkloadSpec& spec, std::uint64_t key_count,
+           unsigned thread_id);
+
+  Op next();
+
+  std::uint64_t ops_generated() const { return ops_; }
+
+ private:
+  WorkloadSpec spec_;
+  netsim::Rng rng_;
+  KeyChooser chooser_;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace ddos::serve

@@ -91,6 +91,25 @@ void LogHistogram::merge(const LogHistogram& other) {
   total_ += other.total_;
 }
 
+double LogHistogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::min<std::uint64_t>(
+      total_ - 1,
+      static_cast<std::uint64_t>(q * static_cast<double>(total_)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum > rank) {
+      const std::uint64_t into_bin = rank - (cum - counts_[i]);
+      const double p = (static_cast<double>(into_bin) + 0.5) /
+                       static_cast<double>(counts_[i]);
+      return bin_lo(i) * std::pow(bin_hi(i) / bin_lo(i), p);
+    }
+  }
+  return bin_hi(counts_.size() - 1);
+}
+
 void CategoryCounter::add(const std::string& key, std::uint64_t weight) {
   counts_[key] += weight;
   total_ += weight;

@@ -62,6 +62,12 @@ class LogHistogram {
   /// (base, decades_per_bin, bins) shape.
   void merge(const LogHistogram& other);
 
+  /// Value at quantile q in [0, 1], geometrically interpolated inside the
+  /// containing bin (log-binned data, so log-linear interpolation is the
+  /// faithful choice). 0 when the histogram is empty. Exact only up to
+  /// bin resolution — fine for p50/p99/p999 latency reporting.
+  double quantile(double q) const;
+
  private:
   double base_;
   double decades_;

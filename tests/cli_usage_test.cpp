@@ -1,0 +1,77 @@
+// Guards the CLI's usage header against drifting from the dispatch table
+// (the header once advertised only six of the seven commands). Both sides
+// now derive from cli::kCommands — main() static_asserts its handler table
+// against it — so this test pins the remaining human-visible contract:
+// the rendered header names every dispatched command, exactly once, with
+// a summary line.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "cli_commands.h"
+
+namespace ddos::cli {
+namespace {
+
+TEST(CliUsage, EveryCommandAppearsInTheUsageLine) {
+  const std::string usage = usage_header();
+  const std::string alternation = "<" + command_list() + ">";
+  EXPECT_NE(usage.find(alternation), std::string::npos)
+      << "usage line missing the command alternation: " << usage;
+  for (const CommandInfo& cmd : kCommands) {
+    EXPECT_NE(usage.find(std::string(cmd.name)), std::string::npos)
+        << "command '" << cmd.name << "' missing from usage header";
+  }
+}
+
+TEST(CliUsage, EveryCommandHasASummaryLine) {
+  const std::string usage = usage_header();
+  for (const CommandInfo& cmd : kCommands) {
+    EXPECT_FALSE(cmd.summary.empty())
+        << "command '" << cmd.name << "' has no summary";
+    EXPECT_NE(usage.find(std::string(cmd.summary)), std::string::npos)
+        << "summary for '" << cmd.name << "' missing from usage header";
+  }
+}
+
+TEST(CliUsage, CommandNamesAreUniqueAndWellFormed) {
+  std::set<std::string> seen;
+  for (const CommandInfo& cmd : kCommands) {
+    EXPECT_FALSE(cmd.name.empty());
+    EXPECT_TRUE(seen.insert(std::string(cmd.name)).second)
+        << "duplicate command '" << cmd.name << "'";
+    for (const char c : cmd.name) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z')
+          << "command names are lowercase words, got '" << cmd.name << "'";
+    }
+  }
+}
+
+TEST(CliUsage, CommandListIsPipeSeparatedInTableOrder) {
+  const std::string list = command_list();
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < kCommands.size(); ++i) {
+    const std::string expected =
+        std::string(kCommands[i].name) +
+        (i + 1 < kCommands.size() ? "|" : "");
+    EXPECT_EQ(list.compare(pos, expected.size(), expected), 0)
+        << "command_list() out of order at '" << kCommands[i].name << "'";
+    pos += expected.size();
+  }
+  EXPECT_EQ(pos, list.size());
+}
+
+// The bug this file exists for: `serve` (and friends) must never vanish
+// from the advertised command set again.
+TEST(CliUsage, KnownCommandsArePresent) {
+  const std::string usage = usage_header();
+  for (const char* name :
+       {"world", "run", "generate", "analyze", "serve", "transip",
+        "russia"}) {
+    EXPECT_NE(usage.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ddos::cli

@@ -1,0 +1,194 @@
+// QueryEngine concurrency + load-driver acceptance: the shared-nothing
+// read API must give every thread the same answers it gives a serial
+// replay (this binary is in the TSan CI job — any hidden shared write in
+// the query path fails there), and drive()'s fixed-ops mode must be
+// fingerprint-reproducible run over run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "exec/pool.h"
+#include "scenario/driver.h"
+#include "serve/driver.h"
+#include "serve/query_engine.h"
+#include "serve/workload.h"
+
+namespace ddos::serve {
+namespace {
+
+// One thread's slice of work: replay `ops` operations of the (seed,
+// thread) stream against the engine and fold every answer — the same
+// folds drive() uses, kept in lockstep by the shared fingerprint_fold.
+std::uint64_t replay_fingerprint(const QueryEngine& engine,
+                                 const WorkloadSpec& spec_in,
+                                 unsigned thread_id, std::uint64_t ops) {
+  WorkloadSpec spec = spec_in;
+  spec.day_min = engine.day_min();
+  spec.day_max = engine.day_max();
+  Workload wl(spec, engine.keys().size(), thread_id);
+  std::vector<TopEntry> scratch;
+  std::uint64_t fp = 0;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const Op op = wl.next();
+    switch (op.type) {
+      case QueryType::PointLookup: {
+        const PointResult r =
+            engine.point_lookup(engine.keys()[op.key_index]);
+        fp = fingerprint_fold(
+            fp, (static_cast<std::uint64_t>(r.summary.nsset) << 1) |
+                    (r.found ? 1u : 0u));
+        fp = fingerprint_fold(fp, r.summary.peak_impact);
+        break;
+      }
+      case QueryType::TopK: {
+        const std::size_t n = engine.top_k(
+            static_cast<TopKMetric>(op.metric), op.k, scratch);
+        fp = fingerprint_fold(fp, static_cast<std::uint64_t>(n));
+        for (const TopEntry& e : scratch) {
+          fp = fingerprint_fold(fp, e.key);
+          fp = fingerprint_fold(fp, e.value);
+        }
+        break;
+      }
+      case QueryType::WindowScan: {
+        const WindowScanResult r = engine.window_scan(op.day_lo, op.day_hi);
+        fp = fingerprint_fold(fp, r.events);
+        fp = fingerprint_fold(fp, r.max_peak_impact);
+        break;
+      }
+    }
+  }
+  return fp;
+}
+
+class ServeEngineTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    result_ = new scenario::LongitudinalResult(
+        scenario::run_longitudinal(scenario::small_longitudinal_config(33)));
+    engine_ = new QueryEngine(*result_);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+    delete result_;
+    result_ = nullptr;
+  }
+
+  static scenario::LongitudinalResult* result_;
+  static QueryEngine* engine_;
+};
+
+scenario::LongitudinalResult* ServeEngineTest::result_ = nullptr;
+QueryEngine* ServeEngineTest::engine_ = nullptr;
+
+// The core concurrency contract: eight raw threads hammer the const API
+// simultaneously; each must end with the fingerprint a serial replay of
+// its stream produces. A data race in the query path shows up here under
+// TSan; a wrong answer shows up as a fingerprint mismatch anywhere.
+TEST_F(ServeEngineTest, ConcurrentReadersMatchSerialReplay) {
+  ASSERT_FALSE(engine_->keys().empty());
+  WorkloadSpec spec;
+  spec.seed = 4242;
+  const unsigned kThreads = 8;
+  const std::uint64_t kOps = 20000;
+
+  std::vector<std::uint64_t> concurrent(kThreads, 0);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        concurrent[t] = replay_fingerprint(*engine_, spec, t, kOps);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  for (unsigned t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(concurrent[t], replay_fingerprint(*engine_, spec, t, kOps))
+        << "thread " << t;
+  }
+  // Distinct streams should not collapse onto one fingerprint.
+  EXPECT_NE(concurrent[0], concurrent[1]);
+}
+
+TEST_F(ServeEngineTest, DriveFixedOpsIsReproducible) {
+  exec::set_global_threads(4);
+  DriveOptions opts;
+  opts.workload.seed = 7;
+  opts.ops_per_thread = 10000;
+
+  const DriveReport a = drive(*engine_, opts);
+  const DriveReport b = drive(*engine_, opts);
+
+  EXPECT_EQ(a.threads, 4u);
+  EXPECT_EQ(a.total_ops, 4u * 10000u);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.thread_fingerprints, b.thread_fingerprints);
+  EXPECT_EQ(a.thread_ops, b.thread_ops);
+  for (std::size_t q = 0; q < kQueryTypeCount; ++q) {
+    EXPECT_EQ(a.by_type[q].ops, b.by_type[q].ops) << "query type " << q;
+  }
+  // The op mix lands: with 95:4:1 almost all ops are point lookups.
+  EXPECT_GT(a.by_type[0].ops, a.total_ops * 9 / 10);
+  std::uint64_t sum = 0;
+  for (const auto& tr : a.by_type) sum += tr.ops;
+  EXPECT_EQ(sum, a.total_ops);
+}
+
+TEST_F(ServeEngineTest, ThreadStreamsAreStableAcrossThreadCounts) {
+  DriveOptions opts;
+  opts.workload.seed = 7;
+  opts.ops_per_thread = 2000;
+  exec::set_global_threads(2);
+  const DriveReport two = drive(*engine_, opts);
+  exec::set_global_threads(4);
+  const DriveReport four = drive(*engine_, opts);
+  EXPECT_EQ(two.threads, 2u);
+  EXPECT_EQ(four.threads, 4u);
+  // Thread 0 and 1 run the same streams in both configurations.
+  EXPECT_EQ(two.thread_fingerprints[0], four.thread_fingerprints[0]);
+  EXPECT_EQ(two.thread_fingerprints[1], four.thread_fingerprints[1]);
+}
+
+TEST_F(ServeEngineTest, DriveDurationModeTerminates) {
+  exec::set_global_threads(2);
+  DriveOptions opts;
+  opts.ops_per_thread = 0;
+  opts.duration_s = 0.05;
+  const DriveReport r = drive(*engine_, opts);
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_GT(r.wall_s, 0.0);
+  EXPECT_GT(r.ops_per_sec, 0.0);
+  std::uint64_t sum = 0;
+  for (const auto& tr : r.by_type) sum += tr.ops;
+  EXPECT_EQ(sum, r.total_ops);
+  // Latency quantiles are populated and ordered for the dominant type.
+  EXPECT_GT(r.by_type[0].p50_us, 0.0);
+  EXPECT_LE(r.by_type[0].p50_us, r.by_type[0].p99_us);
+  EXPECT_LE(r.by_type[0].p99_us, r.by_type[0].p999_us);
+}
+
+TEST_F(ServeEngineTest, DriveRejectsAnEmptyEngine) {
+  const scenario::LongitudinalResult empty;
+  const QueryEngine engine(empty);
+  EXPECT_TRUE(engine.keys().empty());
+  DriveOptions opts;
+  opts.ops_per_thread = 10;
+  EXPECT_THROW(drive(engine, opts), std::invalid_argument);
+}
+
+TEST_F(ServeEngineTest, EmptyEngineAnswersAreEmptyNotUndefined) {
+  const scenario::LongitudinalResult empty;
+  const QueryEngine engine(empty);
+  EXPECT_FALSE(engine.point_lookup(0).found);
+  std::vector<TopEntry> out;
+  EXPECT_EQ(engine.top_k(TopKMetric::Attacks, 10, out), 0u);
+  const WindowScanResult scan = engine.window_scan(0, 1000);
+  EXPECT_EQ(scan.events, 0u);
+}
+
+}  // namespace
+}  // namespace ddos::serve

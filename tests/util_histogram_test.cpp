@@ -192,5 +192,60 @@ TEST(CategoryCounter, EmptyFractionIsZero) {
   EXPECT_TRUE(c.top(3).empty());
 }
 
+TEST(LogHistogramQuantile, EmptyIsZero) {
+  const LogHistogram h(0.01, 0.1, 100);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LogHistogramQuantile, SingleValueLandsInItsBin) {
+  LogHistogram h(0.01, 0.1, 100);
+  h.add(3.0, 1000);
+  // Every quantile of a point mass must stay inside the 3.0 bin.
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, 3.0 / std::pow(10.0, 0.1)) << "q " << q;
+    EXPECT_LE(v, 3.0 * std::pow(10.0, 0.1)) << "q " << q;
+  }
+}
+
+TEST(LogHistogramQuantile, QuantilesAreMonotoneAndBracketTheMass) {
+  LogHistogram h(0.01, 0.1, 100);
+  // 90% of mass at ~1, 9% at ~10, 1% at ~100.
+  h.add(1.0, 9000);
+  h.add(10.0, 900);
+  h.add(100.0, 100);
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p999 = h.quantile(0.999);
+  EXPECT_LT(p50, 2.0);
+  EXPECT_GT(p95, 5.0);
+  EXPECT_LT(p95, 20.0);
+  EXPECT_GT(p999, 50.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p999);
+}
+
+TEST(LogHistogramQuantile, MergePreservesQuantiles) {
+  LogHistogram a(0.01, 0.1, 100);
+  LogHistogram b(0.01, 0.1, 100);
+  LogHistogram whole(0.01, 0.1, 100);
+  for (int i = 1; i <= 1000; ++i) {
+    const double x = 0.1 * i;
+    (i % 2 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), whole.quantile(q)) << "q " << q;
+  }
+}
+
+TEST(LogHistogramQuantile, ClampsOutOfRangeQ) {
+  LogHistogram h(0.01, 0.1, 100);
+  h.add(1.0, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
 }  // namespace
 }  // namespace ddos::util

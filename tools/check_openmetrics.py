@@ -11,7 +11,9 @@ A regex-level structural check (not a full OpenMetrics parser):
   3. counter samples end in _total; histogram families expose _bucket
      lines with le labels plus _count and _sum;
   4. histogram _bucket sequences are cumulative (non-decreasing) and end
-     with an le="+Inf" bucket;
+     with an le="+Inf" bucket, per label set — a labelled histogram
+     family (e.g. one series per query type) is one independent bucket
+     sequence for each distinct set of non-le labels;
   5. the last line is the mandatory ``# EOF`` terminator, exactly once.
 
 Exit 0 with a summary line on success, 1 with the first violation.
@@ -31,6 +33,7 @@ LABELS = (r'\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
 SAMPLE_RE = re.compile(
     rf"^({NAME})({LABELS})? (-?[0-9.eE+-]+|[+-]?Inf|NaN)(?:\s[0-9.eE+-]+)?$")
 BUCKET_LE_RE = re.compile(r'le="([^"]*)"')
+LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
 
 
 def fail(msg):
@@ -58,7 +61,7 @@ def main(argv):
     types = {}
     samples = 0
     eof_seen = False
-    buckets = {}  # family -> list of (le_string, cumulative_count)
+    buckets = {}  # (family, non-le labels) -> [(le_string, cumulative_count)]
     for lineno, line in enumerate(lines, 1):
         if eof_seen:
             return fail(f"line {lineno}: content after # EOF terminator")
@@ -107,7 +110,10 @@ def main(argv):
             if not le:
                 return fail(f"line {lineno}: histogram bucket without an "
                             f"le label: {line!r}")
-            buckets.setdefault(family, []).append((le.group(1), v))
+            rest = ",".join(f'{k}="{val}"'
+                            for k, val in LABEL_PAIR_RE.findall(labels)
+                            if k != "le")
+            buckets.setdefault((family, rest), []).append((le.group(1), v))
         samples += 1
 
     if not eof_seen:
@@ -115,13 +121,14 @@ def main(argv):
     if samples == 0:
         return fail("no sample lines")
 
-    for family, seq in buckets.items():
+    for (family, rest), seq in buckets.items():
+        where = f"{family}{{{rest}}}" if rest else family
         counts = [c for _, c in seq]
         if counts != sorted(counts):
-            return fail(f"histogram {family}: bucket counts not cumulative: "
+            return fail(f"histogram {where}: bucket counts not cumulative: "
                         f"{counts}")
         if seq[-1][0] != "+Inf":
-            return fail(f"histogram {family}: bucket sequence does not end "
+            return fail(f"histogram {where}: bucket sequence does not end "
                         f'with le="+Inf" (ends with le="{seq[-1][0]}")')
 
     kinds = {}

@@ -19,6 +19,13 @@ than half the materialized run's RSS), as does ``sampler_overhead_pct``
 (the telemetry sampler's sample bodies must cost < 1% of run wall clock
 at the default 250 ms cadence).
 
+``guarded_min`` entries are the dual: higher-is-better hard floors,
+checked without tolerance — the baseline value IS the minimum. The serve
+layer's ``serve_lookups_per_sec`` lives here (the query engine must
+sustain at least 1M point lookups/sec across the drive's thread
+complement — an absolute acceptance criterion, not a trajectory, hence
+no tolerance band).
+
 A guarded key that is MISSING from the candidate JSON is a hard failure,
 not a silent skip: a renamed or dropped metric would otherwise disable
 its own gate. On any failure the script prints a full key-by-key
@@ -35,7 +42,7 @@ import sys
 def comparison_table(results, baseline):
     """Every key from either side, one row each: kind, baseline, candidate."""
     kinds = {}
-    for kind in ("guarded", "guarded_max", "informational"):
+    for kind in ("guarded", "guarded_max", "guarded_min", "informational"):
         for name in baseline.get(kind, {}):
             kinds[name] = kind
     names = sorted(set(kinds) | set(results))
@@ -102,6 +109,22 @@ def main(argv):
         if verdict != "OK":
             failures.append(
                 f"{name}: {measured:.6g} > ceiling {ceiling:.6g}")
+
+    for name, floor in sorted(baseline.get("guarded_min", {}).items()):
+        measured = results.get(name)
+        if measured is None:
+            print(f"{name}: MISSING from candidate results "
+                  f"(guarded_min, floor {floor:.6g}) -> FAILED")
+            failures.append(
+                f"{name}: guarded_min key missing from candidate JSON — the "
+                f"gate cannot run; was the metric renamed or dropped?")
+            continue
+        verdict = "OK" if float(measured) >= float(floor) else "BELOW FLOOR"
+        print(f"{name}: measured {measured:.6g} vs floor {floor:.6g} "
+              f"(higher is better, no tolerance) -> {verdict}")
+        if verdict != "OK":
+            failures.append(
+                f"{name}: {measured:.6g} < floor {floor:.6g}")
 
     for name, base in sorted(baseline.get("informational", {}).items()):
         measured = results.get(name)

@@ -1,0 +1,63 @@
+// Single source of truth for the ddosrepro command set.
+//
+// The usage header and the dispatch table used to be maintained by hand in
+// ddosrepro.cpp and drifted (the header predated half the commands). Now
+// both derive from kCommands: main() builds its FlagParser description with
+// usage_header(), declares its handler table in the same order, and
+// static_asserts the two line up — adding a command without its usage line
+// (or vice versa) fails the build, and tests/cli_usage_test.cpp asserts the
+// rendered header actually names every command.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+namespace ddos::cli {
+
+struct CommandInfo {
+  std::string_view name;
+  std::string_view summary;  // one usage-header line, no trailing period
+};
+
+inline constexpr std::array<CommandInfo, 7> kCommands{{
+    {"world", "build the simulated DNS world; export zones, run the audit"},
+    {"run", "execute the seventeen-month pipeline, print headline shapes"},
+    {"generate", "run + persist the datasets to a DRS store (--store)"},
+    {"analyze", "recompute statistics from --store or --events-csv"},
+    {"serve", "load a DRS store, drive the concurrent query engine"},
+    {"transip", "replay the TransIP case study"},
+    {"russia", "replay the mil.ru / rzd.ru case studies"},
+}};
+
+/// "world|run|generate|..." — the <...> alternation in the usage line.
+inline std::string command_list() {
+  std::string out;
+  for (const CommandInfo& cmd : kCommands) {
+    if (!out.empty()) out += '|';
+    out += cmd.name;
+  }
+  return out;
+}
+
+/// The full FlagParser description: banner, usage line, one summary line
+/// per command (no trailing newline, matching FlagParser convention).
+inline std::string usage_header() {
+  std::size_t width = 0;
+  for (const CommandInfo& cmd : kCommands) {
+    width = cmd.name.size() > width ? cmd.name.size() : width;
+  }
+  std::string out =
+      "ddosrepro — pipeline driver for the IMC'22 DNS-DDoS reproduction\n"
+      "usage: ddosrepro <" + command_list() + "> [flags]";
+  for (const CommandInfo& cmd : kCommands) {
+    out += "\n  ";
+    out += cmd.name;
+    out.append(width - cmd.name.size(), ' ');
+    out += " = ";
+    out += cmd.summary;
+  }
+  return out;
+}
+
+}  // namespace ddos::cli

@@ -10,6 +10,9 @@
 //   ddosrepro generate --store <file.drs> [run flags]
 //   ddosrepro analyze  --store <file.drs> [--rejoin] [--threads N]
 //   ddosrepro analyze  --events-csv <file>
+//   ddosrepro serve    --store <file.drs> [--threads N] [--duration-s S]
+//                      [--serve-ops N] [--dist uniform|zipfian] [--theta X]
+//                      [--mix P:T:S] [--topk K] [--scan-days N]
 //   ddosrepro transip  [--scale X]
 //   ddosrepro russia
 //
@@ -35,12 +38,23 @@
 // or Perfetto), and --progress emits a one-line heartbeat per simulated
 // sweep day on stderr.
 //
+// `serve` loads a DRS store, builds the read-optimized serve indexes
+// (fill phase), then drives the concurrent query API from --threads
+// closed-loop client threads (mixed phase) and reports per-query-type
+// throughput and latency quantiles plus a deterministic answer
+// fingerprint (--serve-ops fixed-ops mode; re-runs must print the same
+// fingerprint line for equal seed/threads).
+//
 // Time-resolved telemetry (run): --telemetry-out streams one JSONL sample
 // of every metric/progress/process series per --telemetry-interval-ms;
 // --dashboard-out renders a self-contained HTML dashboard (sparklines +
 // stage timeline, no external assets); --watchdog-timeout-s N aborts with
 // a full diagnostic dump if no pipeline stage makes progress for N
 // seconds (0 disables).
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -61,10 +75,15 @@
 #include "scenario/driver.h"
 #include "scenario/russia.h"
 #include "scenario/transip.h"
+#include "serve/driver.h"
+#include "serve/query_engine.h"
+#include "serve/workload.h"
 #include "store/format.h"
 #include "util/flags.h"
 #include "util/strings.h"
 #include "util/table.h"
+
+#include "cli_commands.h"
 
 using namespace ddos;
 
@@ -516,14 +535,253 @@ int cmd_russia(util::FlagParser&) {
   return 0;
 }
 
+int cmd_serve(util::FlagParser& flags) {
+  const std::string store_path = flags.get_string("store");
+  if (store_path.empty()) {
+    std::cerr << "serve requires --store <file.drs>\n";
+    return 2;
+  }
+
+  serve::DriveOptions opts;
+  opts.workload.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const auto dist = serve::parse_distribution(flags.get_string("dist"));
+  if (!dist) {
+    std::cerr << "--dist must be uniform or zipfian, got '"
+              << flags.get_string("dist") << "'\n";
+    return 2;
+  }
+  opts.workload.dist = *dist;
+  opts.workload.theta = flags.get_double("theta");
+  const auto mix = serve::parse_mix(flags.get_string("mix"));
+  if (!mix) {
+    std::cerr << "--mix must be point:topk:scan relative weights with a "
+                 "positive total, got '"
+              << flags.get_string("mix") << "'\n";
+    return 2;
+  }
+  opts.workload.mix = *mix;
+  opts.workload.topk_k =
+      static_cast<std::uint32_t>(flags.get_uint("topk"));
+  opts.workload.scan_days =
+      static_cast<netsim::DayIndex>(flags.get_uint("scan-days"));
+  opts.ops_per_thread = flags.get_uint("serve-ops");
+  opts.duration_s = flags.get_double("duration-s");
+
+  const unsigned threads = static_cast<unsigned>(flags.get_uint("threads"));
+  exec::set_global_threads(threads);
+
+  const std::string metrics_path = flags.get_string("metrics-out");
+  const std::string metrics_format = flags.get_string("metrics-format");
+  const std::string trace_path = flags.get_string("trace-out");
+  const std::string telemetry_path = flags.get_string("telemetry-out");
+  const std::string dashboard_path = flags.get_string("dashboard-out");
+  if (metrics_format != "json" && metrics_format != "openmetrics") {
+    std::cerr << "--metrics-format must be json or openmetrics, got '"
+              << metrics_format << "'\n";
+    return 2;
+  }
+
+  std::optional<obs::Observer> observer;
+  std::optional<obs::ScopedInstall> install;
+  if (!metrics_path.empty() || !trace_path.empty() ||
+      !telemetry_path.empty() || !dashboard_path.empty()) {
+    observer.emplace();
+    install.emplace(*observer);
+  }
+  std::optional<obs::TelemetrySampler> sampler;
+  if (!telemetry_path.empty() || !dashboard_path.empty()) {
+    obs::SamplerOptions sopts;
+    sopts.interval_ms = flags.get_uint("telemetry-interval-ms");
+    sopts.capacity_per_series =
+        static_cast<std::size_t>(flags.get_uint("telemetry-capacity"));
+    sopts.jsonl_path = telemetry_path;
+    sampler.emplace(*observer, sopts);
+    sampler->start();
+  }
+  // Command-lifetime progress source: drive() registers a finer-grained
+  // per-op source, but that one only exists for the drive window, which a
+  // short fixed-ops run can squeeze between two sampler ticks. This one
+  // spans every sample the sampler takes, including the stop() bookend.
+  std::atomic<std::uint64_t> completed_ops{0};
+  std::optional<obs::ScopedProgressSource> progress;
+  if (observer) {
+    progress.emplace(&observer->progress_sources(), "serve.completed_ops",
+                     [&completed_ops] {
+                       return completed_ops.load(std::memory_order_relaxed);
+                     });
+  }
+
+  // Fill phase: load the stored run, then build the serve indexes.
+  using Clock = std::chrono::steady_clock;
+  const auto seconds_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  scenario::StoredRun run;
+  const Clock::time_point load_start = Clock::now();
+  try {
+    run = scenario::load_run(store_path);
+  } catch (const store::StoreError& e) {
+    std::cerr << "store error: " << e.what() << "\n";
+    return 1;
+  }
+  const double load_s = seconds_since(load_start);
+  const Clock::time_point build_start = Clock::now();
+  serve::QueryEngine engine(run);
+  const double build_s = seconds_since(build_start);
+  std::cout << "fill: " << store_path << " loaded in "
+            << util::format_fixed(load_s, 2) << "s; indexed "
+            << util::with_commas(engine.nsset_count()) << " NSSets, "
+            << util::with_commas(engine.series_points())
+            << " series points, "
+            << util::with_commas(engine.leaderboard_entries())
+            << " leaderboard rows in " << util::format_fixed(build_s, 2)
+            << "s\n";
+  if (engine.keys().empty()) {
+    std::cerr << "store has no indexable NSSets to serve\n";
+    return 1;
+  }
+
+  // Mixed phase: the closed-loop drive.
+  std::cout << "mixed: " << threads << " threads, "
+            << serve::to_string(opts.workload.dist) << " keys";
+  if (opts.workload.dist == serve::Distribution::Zipfian) {
+    std::cout << " (theta " << util::format_fixed(opts.workload.theta, 2)
+              << ")";
+  }
+  std::cout << ", mix " << opts.workload.mix.to_string() << ", ";
+  if (opts.ops_per_thread > 0) {
+    std::cout << util::with_commas(opts.ops_per_thread)
+              << " ops/thread (fixed)\n";
+  } else {
+    std::cout << util::format_fixed(opts.duration_s, 1) << "s\n";
+  }
+  const serve::DriveReport report = serve::drive(engine, opts);
+  completed_ops.store(report.total_ops, std::memory_order_relaxed);
+  if (sampler) sampler->stop();
+
+  util::TextTable table(
+      {"query", "ops", "ops/sec", "p50 us", "p99 us", "p99.9 us"});
+  for (const serve::QueryTypeReport& tr : report.by_type) {
+    table.add_row({serve::to_string(tr.type), util::with_commas(tr.ops),
+                   util::format_count(tr.ops_per_sec),
+                   util::format_fixed(tr.p50_us, 2),
+                   util::format_fixed(tr.p99_us, 2),
+                   util::format_fixed(tr.p999_us, 2)});
+  }
+  std::cout << table.to_string();
+  std::cout << "total: " << util::with_commas(report.total_ops) << " ops in "
+            << util::format_fixed(report.wall_s, 2) << "s = "
+            << util::format_count(report.ops_per_sec) << "ops/sec\n";
+  char fp[17];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(report.fingerprint));
+  std::cout << "fingerprint: " << fp << "\n";
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot write " << trace_path << "\n";
+      return 1;
+    }
+    observer->tracer().write_chrome_json(out);
+    std::cout << "wrote " << observer->tracer().event_count()
+              << " trace spans to " << trace_path << "\n";
+  }
+  if (sampler && !telemetry_path.empty()) {
+    std::cout << "wrote " << sampler->samples_taken() << " telemetry samples ("
+              << sampler->series().series_count() << " series) to "
+              << telemetry_path << "\n";
+  }
+  if (!dashboard_path.empty()) {
+    obs::DashboardOptions dopts;
+    dopts.title = "ddosrepro serve (" + store_path + ")";
+    dopts.meta = {
+        {"store", store_path},
+        {"threads", std::to_string(threads)},
+        {"distribution", serve::to_string(opts.workload.dist)},
+        {"mix", opts.workload.mix.to_string()},
+        {"total ops", util::with_commas(report.total_ops)},
+        {"ops/sec", util::format_count(report.ops_per_sec)},
+    };
+    if (!obs::write_dashboard_html_file(dashboard_path, *observer,
+                                        sampler ? &*sampler : nullptr,
+                                        dopts)) {
+      std::cerr << "cannot write " << dashboard_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote serve dashboard to " << dashboard_path << "\n";
+  }
+  if (!metrics_path.empty() && metrics_format == "openmetrics") {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    out << observer->metrics().snapshot().to_openmetrics();
+    std::cout << "wrote OpenMetrics exposition to " << metrics_path << "\n";
+  } else if (!metrics_path.empty()) {
+    obs::RunReport run_report("serve");
+    run_report.add_config("store", store_path);
+    run_report.add_config("seed", flags.get_int("seed"));
+    run_report.add_config("threads", static_cast<std::int64_t>(threads));
+    run_report.add_config("dist",
+                          std::string(serve::to_string(opts.workload.dist)));
+    run_report.add_config("theta", opts.workload.theta);
+    run_report.add_config("mix", opts.workload.mix.to_string());
+    run_report.add_result("total_ops",
+                          static_cast<std::int64_t>(report.total_ops));
+    run_report.add_result("ops_per_sec", report.ops_per_sec);
+    run_report.add_result("fingerprint", std::string(fp));
+    for (const serve::QueryTypeReport& tr : report.by_type) {
+      const std::string prefix = serve::to_string(tr.type);
+      run_report.add_result(prefix + "_ops",
+                            static_cast<std::int64_t>(tr.ops));
+      run_report.add_result(prefix + "_p50_us", tr.p50_us);
+      run_report.add_result(prefix + "_p99_us", tr.p99_us);
+      run_report.add_result(prefix + "_p999_us", tr.p999_us);
+    }
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    run_report.write(out, *observer);
+    std::cout << "wrote serve report to " << metrics_path << "\n";
+  }
+  return 0;
+}
+
+// Command dispatch, index-aligned with cli::kCommands (the usage header's
+// source of truth); the static_assert below keeps the two from drifting.
+struct CommandHandler {
+  std::string_view name;
+  int (*handler)(util::FlagParser&);
+};
+
+constexpr std::array<CommandHandler, cli::kCommands.size()> kHandlers{{
+    {"world", cmd_world},
+    {"run", cmd_run},
+    {"generate", cmd_generate},
+    {"analyze", cmd_analyze},
+    {"serve", cmd_serve},
+    {"transip", cmd_transip},
+    {"russia", cmd_russia},
+}};
+
+constexpr bool handlers_match_usage() {
+  for (std::size_t i = 0; i < kHandlers.size(); ++i) {
+    if (kHandlers[i].name != cli::kCommands[i].name) return false;
+  }
+  return true;
+}
+static_assert(handlers_match_usage(),
+              "tools/cli_commands.h and the kHandlers table must list the "
+              "same commands in the same order");
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::FlagParser flags(
-      "ddosrepro — pipeline driver for the IMC'22 DNS-DDoS reproduction\n"
-      "usage: ddosrepro <world|run|generate|analyze|transip|russia> [flags]\n"
-      "  generate = run + persist the datasets to a DRS store (--store)\n"
-      "  analyze  = recompute statistics from --store or --events-csv");
+  util::FlagParser flags(cli::usage_header());
   flags.add_int("seed", 42, "world/workload seed");
   flags.add_int("domains", 120000, "registered domains in the world");
   flags.add_int("providers", 1200, "hosting providers in the world");
@@ -585,6 +843,27 @@ int main(int argc, char** argv) {
                    "stage makes progress for this many seconds; 0 "
                    "disables (run)",
                    0.0, 86400.0);
+  flags.add_double("duration-s", 2.0,
+                   "wall-clock budget of the mixed phase (serve; ignored "
+                   "when --serve-ops > 0)",
+                   0.0, 3600.0);
+  flags.add_uint("serve-ops", 0,
+                 "fixed per-thread op budget; > 0 selects the "
+                 "deterministic fixed-ops mode whose fingerprint line is "
+                 "reproducible for equal seed and threads (serve)",
+                 0, 1ull << 40);
+  flags.add_string("dist", "zipfian",
+                   "key-choice distribution: uniform or zipfian (serve)");
+  flags.add_double("theta", 0.99,
+                   "Zipfian skew parameter (serve with --dist zipfian)",
+                   0.01, 100.0);
+  flags.add_string("mix", "95:4:1",
+                   "relative point:topk:scan query weights (serve)");
+  flags.add_uint("topk", 10, "rows per TopK query (serve)", 1, 100000);
+  flags.add_uint("scan-days", 30,
+                 "WindowScan width in days; windows are placed uniformly "
+                 "over the indexed range (serve)",
+                 1, 1000000);
 
   if (!flags.parse(argc - 1, argv + 1)) {
     std::cerr << flags.error() << "\n" << flags.usage();
@@ -596,12 +875,9 @@ int main(int argc, char** argv) {
   }
 
   const std::string& command = flags.positional().front();
-  if (command == "world") return cmd_world(flags);
-  if (command == "run") return cmd_run(flags);
-  if (command == "generate") return cmd_generate(flags);
-  if (command == "analyze") return cmd_analyze(flags);
-  if (command == "transip") return cmd_transip(flags);
-  if (command == "russia") return cmd_russia(flags);
+  for (const CommandHandler& entry : kHandlers) {
+    if (command == entry.name) return entry.handler(flags);
+  }
   std::cerr << "unknown command '" << command << "'\n" << flags.usage();
   return 2;
 }
