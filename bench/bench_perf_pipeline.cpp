@@ -31,6 +31,8 @@
 #include "dns/wire.h"
 #include "dns/zonefile.h"
 #include "dns/resolver.h"
+#include "net/remote.h"
+#include "net/server.h"
 #include "openintel/sweeper.h"
 #include "scenario/driver.h"
 #include "serve/driver.h"
@@ -485,6 +487,31 @@ void write_pipeline_json(const char* path, const PeakRss& peaks) {
   const double serve_lookups_per_sec = serve_report.by_type[0].ops_per_sec;
   const double serve_p99_us = serve_report.by_type[0].p99_us;
 
+  // Networked serve throughput: the same engine behind the epoll TCP
+  // front-end on loopback, driven closed-loop over 2 connections. This
+  // prices the whole wire path (encode + two kernel crossings + decode
+  // per op); net_qps is a guarded_min floor in baseline_perf.json —
+  // deliberately conservative, it gates "the socket path collapsed", not
+  // steady-state throughput. The RTT quantile is informational (loopback
+  // scheduling jitter makes it too runner-sensitive to gate).
+  double net_qps = 0.0;
+  double net_rtt_p99_us = 0.0;
+  {
+    net::ServerOptions server_opts;
+    server_opts.threads = 2;
+    net::Server server(net::EngineHandle::view(engine, 1), server_opts);
+    server.start();
+    net::RemoteDriveOptions remote;
+    remote.port = server.port();
+    remote.connections = 2;
+    remote.workload = serve_opts.workload;
+    remote.ops_per_thread = 50000;
+    const serve::DriveReport net_report = net::drive_remote(remote);
+    server.stop();
+    net_qps = net_report.ops_per_sec;
+    net_rtt_p99_us = net_report.by_type[0].p99_us;
+  }
+
   const auto mbps = [store_bytes](std::uint64_t ns) {
     return ns > 0 ? static_cast<double>(store_bytes) * 1e3 /
                         static_cast<double>(ns)
@@ -530,6 +557,8 @@ void write_pipeline_json(const char* path, const PeakRss& peaks) {
                     static_cast<std::int64_t>(serve_report.threads));
   report.add_result("serve_lookups_per_sec", serve_lookups_per_sec);
   report.add_result("serve_p99_us", serve_p99_us);
+  report.add_result("net_qps", net_qps);
+  report.add_result("net_rtt_p99_us", net_rtt_p99_us);
   report.add_result("peak_rss_bytes_streaming",
                     static_cast<std::int64_t>(peaks.streaming_bytes));
   report.add_result("peak_rss_bytes_materialized",

@@ -1,0 +1,205 @@
+// net::codec — the binary wire protocol of the serve front-end.
+//
+// Framing: every message is [u32 payload_len (LE)] [payload], where
+// payload_len counts the payload bytes only and is capped at
+// kMaxFrameBytes — a peer announcing more is malformed and the connection
+// is dropped, never buffered. The payload starts with a fixed 8-byte
+// header:
+//
+//   offset  size  field
+//   0       1     magic      (0xD5)
+//   1       1     version    (kProtocolVersion == 1)
+//   2       1     opcode     (Opcode below)
+//   3       1     reserved   (must be 0)
+//   4       4     request_id (LE; echoed verbatim in the response)
+//
+// followed by an opcode-specific body (all integers little-endian, all
+// doubles IEEE-754 bit patterns, no padding — fields are packed at the
+// byte level, never memcpy'd from structs, so the format is independent
+// of host ABI). request_id lets clients pipeline: a server answers
+// requests of one connection in receive order and echoes each id, so a
+// client can match k outstanding requests without a map.
+//
+// Request bodies:
+//   Hello        —  (empty)
+//   PointLookup  —  u64 key_index        (rank into the engine's keys())
+//   TopK         —  u8 metric, u8[3] pad(0), u32 k
+//   WindowScan   —  i64 day_lo, i64 day_hi
+//
+// Response bodies:
+//   HelloOk      —  u64 key_count, i64 day_min, i64 day_max,
+//                   u64 nsset_count, u64 engine_epoch
+//   PointOk      —  u8 found, u8[3] pad(0), u32 nsset, u32 events,
+//                   u64 domains_hosted, f64 peak_impact,
+//                   f64 max_failure_rate, u32 ok, u32 timeouts,
+//                   u32 servfails, i64 first_day, i64 last_day,
+//                   u32 event_count, u32 series_len
+//   TopKOk       —  u32 n, n x (u64 key, f64 value)
+//   ScanOk       —  i64 day_lo, i64 day_hi, u64 events,
+//                   u64 events_with_failures, u64 timeouts, u64 servfails,
+//                   u64 impaired_10x, u64 severe_100x, f64 max_peak_impact
+//   Error        —  u16 code (ErrorCode), u16 msg_len, msg bytes
+//
+// Decoding is strict: short bodies, trailing bytes, bad magic/version,
+// unknown opcodes, non-zero reserved bytes and oversized frames all fail
+// with a typed DecodeStatus instead of best-effort acceptance — a fuzzed
+// byte stream must never crash the decoder or silently round to a valid
+// message (tests/net_codec_test.cpp hammers exactly this).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netsim/simtime.h"
+#include "serve/query_engine.h"
+
+namespace ddos::net {
+
+inline constexpr std::uint8_t kMagic = 0xD5;
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 8;
+/// Hard ceiling on one frame's payload. TopK responses dominate frame
+/// size (16 bytes/row), so this admits ~65k-row boards with room while
+/// keeping a malicious length prefix from ballooning a read buffer.
+inline constexpr std::size_t kMaxFrameBytes = 1 << 20;
+
+enum class Opcode : std::uint8_t {
+  // requests
+  Hello = 0x01,
+  PointLookup = 0x02,
+  TopK = 0x03,
+  WindowScan = 0x04,
+  // responses
+  HelloOk = 0x81,
+  PointOk = 0x82,
+  TopKOk = 0x83,
+  ScanOk = 0x84,
+  Error = 0x7F,
+};
+
+const char* to_string(Opcode op);
+
+enum class ErrorCode : std::uint16_t {
+  Malformed = 1,     // frame parsed but the body is invalid
+  BadRequest = 2,    // semantically invalid (key_index out of range, ...)
+  Internal = 3,
+};
+
+/// Why a decode was rejected. `Ok` and `NeedMore` are the two non-error
+/// outcomes: NeedMore means the buffer holds a frame prefix (keep
+/// reading), everything else means the peer is broken and the connection
+/// must be closed.
+enum class DecodeStatus {
+  Ok,
+  NeedMore,
+  BadMagic,
+  BadVersion,
+  BadOpcode,
+  BadReserved,
+  Oversized,
+  Truncated,    // body shorter than the opcode demands
+  TrailingBytes,  // body longer than the opcode demands
+};
+
+const char* to_string(DecodeStatus status);
+
+/// One parsed frame header + body view (aliases the input buffer).
+struct Frame {
+  Opcode opcode = Opcode::Error;
+  std::uint32_t request_id = 0;
+  std::span<const std::uint8_t> body;
+};
+
+// ---- request/response value types ------------------------------------
+
+struct HelloResult {
+  std::uint64_t key_count = 0;
+  netsim::DayIndex day_min = 0;
+  netsim::DayIndex day_max = -1;
+  std::uint64_t nsset_count = 0;
+  /// Re-fill generation of the answering engine; bumps on every swap.
+  std::uint64_t engine_epoch = 0;
+
+  friend bool operator==(const HelloResult&, const HelloResult&) = default;
+};
+
+/// PointLookup answer as it travels the wire: the summary plus the two
+/// span lengths (the arrays themselves stay server-side; the driver's
+/// fingerprint folds only the lengths, so the wire answer is exactly the
+/// fold's input).
+struct WirePointResult {
+  bool found = false;
+  serve::NssetSummary summary;
+  std::uint32_t event_count = 0;
+  std::uint32_t series_len = 0;
+
+  friend bool operator==(const WirePointResult&,
+                         const WirePointResult&) = default;
+};
+
+struct WireError {
+  ErrorCode code = ErrorCode::Internal;
+  std::string message;
+
+  friend bool operator==(const WireError&, const WireError&) = default;
+};
+
+// ---- encoding (append one whole frame to `out`) ----------------------
+
+void encode_hello(std::uint32_t request_id, std::vector<std::uint8_t>& out);
+void encode_point_lookup(std::uint32_t request_id, std::uint64_t key_index,
+                         std::vector<std::uint8_t>& out);
+void encode_top_k(std::uint32_t request_id, serve::TopKMetric metric,
+                  std::uint32_t k, std::vector<std::uint8_t>& out);
+void encode_window_scan(std::uint32_t request_id, netsim::DayIndex day_lo,
+                        netsim::DayIndex day_hi,
+                        std::vector<std::uint8_t>& out);
+
+void encode_hello_ok(std::uint32_t request_id, const HelloResult& result,
+                     std::vector<std::uint8_t>& out);
+void encode_point_ok(std::uint32_t request_id, const WirePointResult& result,
+                     std::vector<std::uint8_t>& out);
+void encode_top_k_ok(std::uint32_t request_id,
+                     std::span<const serve::TopEntry> rows,
+                     std::vector<std::uint8_t>& out);
+void encode_scan_ok(std::uint32_t request_id,
+                    const serve::WindowScanResult& result,
+                    std::vector<std::uint8_t>& out);
+void encode_error(std::uint32_t request_id, ErrorCode code,
+                  std::string_view message, std::vector<std::uint8_t>& out);
+
+// ---- decoding --------------------------------------------------------
+
+/// Parse one frame from the front of `buf`. On Ok, `frame` views into
+/// `buf` and `consumed` is the total frame size (4 + payload) to pop.
+/// On NeedMore nothing is consumed; any other status is fatal for the
+/// connection.
+DecodeStatus decode_frame(std::span<const std::uint8_t> buf, Frame& frame,
+                          std::size_t& consumed);
+
+// Body decoders: strict — exact length, valid enum values. Each returns
+// nullopt when the body does not match the opcode's layout.
+std::optional<std::uint64_t> decode_point_lookup(const Frame& frame);
+struct TopKRequest {
+  serve::TopKMetric metric = serve::TopKMetric::Attacks;
+  std::uint32_t k = 0;
+};
+std::optional<TopKRequest> decode_top_k(const Frame& frame);
+struct WindowScanRequest {
+  netsim::DayIndex day_lo = 0;
+  netsim::DayIndex day_hi = -1;
+};
+std::optional<WindowScanRequest> decode_window_scan(const Frame& frame);
+
+std::optional<HelloResult> decode_hello_ok(const Frame& frame);
+std::optional<WirePointResult> decode_point_ok(const Frame& frame);
+/// Appends the decoded rows to `rows` (cleared first); nullopt on
+/// malformed body (row count not matching the byte count included).
+bool decode_top_k_ok(const Frame& frame, std::vector<serve::TopEntry>& rows);
+std::optional<serve::WindowScanResult> decode_scan_ok(const Frame& frame);
+std::optional<WireError> decode_error(const Frame& frame);
+
+}  // namespace ddos::net

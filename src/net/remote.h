@@ -1,0 +1,61 @@
+// net::drive_remote — the load driver for a networked serve engine,
+// closed- and open-loop.
+//
+// Closed loop (target_qps == 0) mirrors serve::drive over the wire: each
+// of `connections` threads owns one Client and runs send -> recv -> fold,
+// so offered load self-clocks to service rate. Thread t's op stream is
+// serve::Workload(seed, t) — the exact stream the local driver gives
+// participant t — and every answer is folded with the shared
+// fold_*_answer helpers, so a remote drive with C connections against an
+// engine must produce bit-identical per-thread fingerprints to a local
+// drive with C pool threads over the same (seed, mix, engine). That
+// parity is the wire protocol's regression gate: any codec field drift
+// or reordering shows up as a fingerprint mismatch.
+//
+// Open loop (target_qps > 0) sends each op at its *intended* time —
+// op i of a thread is scheduled at start + i/qps_thread regardless of
+// how the previous ops fared — and measures latency from that intended
+// send time to response completion. This is the coordinated-omission
+// correction (YCSB's fixed-rate mode, wg/wrk2's --rate): a stalled
+// server cannot slow the request schedule down and thereby hide its own
+// stall from the percentiles, because the schedule is fixed a priori;
+// queueing delay lands in the histogram instead of silently stretching
+// the op stream. Requests pipeline on the connection while the server is
+// behind (responses return FIFO, ids are checked), and the fingerprint
+// fold happens in completion order == send order, so open-loop runs keep
+// the same determinism contract as closed-loop ones.
+//
+// Both modes end with serve::finalize_drive, the epilogue shared with
+// the local driver — one merge/quantile/report path, two transports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/driver.h"
+
+namespace ddos::net {
+
+struct RemoteDriveOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Driver threads; each owns one TCP connection. Fingerprint parity
+  /// with a local drive requires this to equal the local thread count.
+  unsigned connections = 1;
+  serve::WorkloadSpec workload;  // day_min/day_max overwritten from Hello
+  /// Per-connection fixed op budget (> 0: deterministic fixed-ops mode).
+  std::uint64_t ops_per_thread = 0;
+  /// Wall-clock budget when ops_per_thread == 0.
+  double duration_s = 2.0;
+  /// > 0 selects open loop: aggregate intended rate across all
+  /// connections, split evenly; 0 is closed loop.
+  double target_qps = 0.0;
+};
+
+/// Drive a remote server. Blocks until every connection finishes; throws
+/// std::runtime_error on connect failure, server-side errors or protocol
+/// violations. The report's target_qps echoes the open-loop schedule
+/// (0 for closed loop).
+serve::DriveReport drive_remote(const RemoteDriveOptions& options);
+
+}  // namespace ddos::net

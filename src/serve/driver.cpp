@@ -22,20 +22,6 @@ constexpr double kLatencyBaseUs = 0.01;
 constexpr double kLatencyDecadesPerBin = 0.1;
 constexpr std::size_t kLatencyBins = 100;
 
-util::LogHistogram latency_histogram() {
-  return util::LogHistogram(kLatencyBaseUs, kLatencyDecadesPerBin,
-                            kLatencyBins);
-}
-
-struct ThreadState {
-  std::uint64_t fingerprint = 0;
-  std::uint64_t ops = 0;
-  std::array<std::uint64_t, kQueryTypeCount> type_ops{};
-  std::vector<util::LogHistogram> hists;  // one per QueryType
-
-  ThreadState() : hists(kQueryTypeCount, latency_histogram()) {}
-};
-
 // One cache line per participant: the op counter the progress source (and
 // through it the telemetry sampler / stall watchdog) polls while the
 // closed loops run. Each thread stores only its own cell, so the hot path
@@ -54,116 +40,57 @@ std::uint64_t fingerprint_fold(std::uint64_t fp, double value) {
   return fingerprint_fold(fp, std::bit_cast<std::uint64_t>(value));
 }
 
-DriveReport drive(const QueryEngine& engine, const DriveOptions& options) {
-  if (engine.keys().empty()) {
-    throw std::invalid_argument("serve::drive: engine key universe is empty");
+std::uint64_t fold_point_answer(std::uint64_t fp, bool found,
+                                const NssetSummary& summary,
+                                std::uint64_t series_len) {
+  fp = fingerprint_fold(fp, (static_cast<std::uint64_t>(summary.nsset) << 1) |
+                                (found ? 1u : 0u));
+  fp = fingerprint_fold(
+      fp, static_cast<std::uint64_t>(summary.events) |
+              (static_cast<std::uint64_t>(summary.timeouts) << 16) |
+              (static_cast<std::uint64_t>(summary.servfails) << 32) |
+              (series_len << 48));
+  return fingerprint_fold(fp, summary.peak_impact);
+}
+
+std::uint64_t fold_top_k_answer(std::uint64_t fp,
+                                std::span<const TopEntry> rows) {
+  fp = fingerprint_fold(fp, static_cast<std::uint64_t>(rows.size()));
+  for (const TopEntry& entry : rows) {
+    fp = fingerprint_fold(fp, entry.key);
+    fp = fingerprint_fold(fp, entry.value);
   }
+  return fp;
+}
 
-  exec::WorkerPool& pool = exec::global_pool();
-  const unsigned threads = pool.thread_count();
+std::uint64_t fold_window_scan_answer(std::uint64_t fp,
+                                      const WindowScanResult& r) {
+  fp = fingerprint_fold(fp, r.events | (r.events_with_failures << 24) |
+                                (r.impaired_10x << 48));
+  fp = fingerprint_fold(
+      fp, r.timeouts | (r.servfails << 24) | (r.severe_100x << 48));
+  return fingerprint_fold(fp, r.max_peak_impact);
+}
 
-  WorkloadSpec spec = options.workload;
-  spec.day_min = engine.day_min();
-  spec.day_max = engine.day_max();
-  const std::uint64_t key_count = engine.keys().size();
-  // Surface spec errors (bad theta, zero mix) here, on the caller, rather
-  // than inside the pool region where throwing is not allowed.
-  { Workload probe(spec, key_count, 0); }
+util::LogHistogram drive_latency_histogram() {
+  return util::LogHistogram(kLatencyBaseUs, kLatencyDecadesPerBin,
+                            kLatencyBins);
+}
 
-  const bool fixed_ops = options.ops_per_thread > 0;
-  const std::uint64_t budget = options.ops_per_thread;
+ParticipantOutcome::ParticipantOutcome()
+    : hists(kQueryTypeCount, drive_latency_histogram()) {}
 
-  std::vector<ThreadState> state(threads);
-  std::vector<LiveCount> live(threads);
-  obs::Observer* observer = obs::Observer::installed();
-  const obs::ScopedProgressSource progress(
-      observer ? &observer->progress_sources() : nullptr, "serve.ops",
-      [&live] {
-        std::uint64_t total = 0;
-        for (const LiveCount& c : live) {
-          total += c.ops.load(std::memory_order_relaxed);
-        }
-        return total;
-      });
-  const std::span<const dns::NssetId> keys = engine.keys();
-
-  const Clock::time_point start = Clock::now();
-  const Clock::time_point deadline =
-      start + std::chrono::duration_cast<Clock::duration>(
-                  std::chrono::duration<double>(
-                      std::max(options.duration_s, 0.0)));
-
-  pool.run_on_all([&](unsigned participant) {
-    ThreadState& me = state[participant];
-    Workload wl(spec, key_count, participant);
-    std::vector<TopEntry> scratch;
-    scratch.reserve(spec.topk_k);
-    std::uint64_t fp = 0;
-
-    Clock::time_point t_prev = Clock::now();
-    for (;;) {
-      if (fixed_ops && me.ops == budget) break;
-      const Op op = wl.next();
-      const auto type_index = static_cast<std::size_t>(op.type);
-      switch (op.type) {
-        case QueryType::PointLookup: {
-          const PointResult r = engine.point_lookup(keys[op.key_index]);
-          fp = fingerprint_fold(
-              fp, (static_cast<std::uint64_t>(r.summary.nsset) << 1) |
-                      (r.found ? 1u : 0u));
-          fp = fingerprint_fold(
-              fp, static_cast<std::uint64_t>(r.summary.events) |
-                      (static_cast<std::uint64_t>(r.summary.timeouts) << 16) |
-                      (static_cast<std::uint64_t>(r.summary.servfails) << 32) |
-                      (static_cast<std::uint64_t>(r.series.size()) << 48));
-          fp = fingerprint_fold(fp, r.summary.peak_impact);
-          break;
-        }
-        case QueryType::TopK: {
-          const std::size_t n = engine.top_k(
-              static_cast<TopKMetric>(op.metric), op.k, scratch);
-          fp = fingerprint_fold(fp, static_cast<std::uint64_t>(n));
-          for (const TopEntry& entry : scratch) {
-            fp = fingerprint_fold(fp, entry.key);
-            fp = fingerprint_fold(fp, entry.value);
-          }
-          break;
-        }
-        case QueryType::WindowScan: {
-          const WindowScanResult r = engine.window_scan(op.day_lo, op.day_hi);
-          fp = fingerprint_fold(
-              fp, r.events | (r.events_with_failures << 24) |
-                      (r.impaired_10x << 48));
-          fp = fingerprint_fold(fp, r.timeouts | (r.servfails << 24) |
-                                        (r.severe_100x << 48));
-          fp = fingerprint_fold(fp, r.max_peak_impact);
-          break;
-        }
-      }
-      const Clock::time_point t_now = Clock::now();
-      me.hists[type_index].add(
-          std::chrono::duration<double, std::micro>(t_now - t_prev).count());
-      t_prev = t_now;
-      ++me.ops;
-      ++me.type_ops[type_index];
-      live[participant].ops.store(me.ops, std::memory_order_relaxed);
-      if (!fixed_ops && t_now >= deadline) break;
-    }
-    me.fingerprint = fp;
-  });
-
-  const double wall_s =
-      std::chrono::duration<double>(Clock::now() - start).count();
-
+DriveReport finalize_drive(std::span<const ParticipantOutcome> outcomes,
+                           double wall_s) {
   DriveReport report;
-  report.threads = threads;
+  report.threads = static_cast<unsigned>(outcomes.size());
   report.wall_s = wall_s;
-  report.thread_fingerprints.reserve(threads);
-  report.thread_ops.reserve(threads);
+  report.thread_fingerprints.reserve(outcomes.size());
+  report.thread_ops.reserve(outcomes.size());
 
   std::vector<util::LogHistogram> merged(kQueryTypeCount,
-                                         latency_histogram());
-  for (const ThreadState& t : state) {
+                                         drive_latency_histogram());
+  for (const ParticipantOutcome& t : outcomes) {
     report.total_ops += t.ops;
     report.thread_fingerprints.push_back(t.fingerprint);
     report.thread_ops.push_back(t.ops);
@@ -185,9 +112,9 @@ DriveReport drive(const QueryEngine& engine, const DriveOptions& options) {
     tr.p999_us = merged[q].quantile(0.999);
   }
 
-  if (obs::Observer* o = observer) {
+  if (obs::Observer* o = obs::Observer::installed()) {
     auto& metrics = o->metrics();
-    metrics.gauge("serve.threads").set(static_cast<double>(threads));
+    metrics.gauge("serve.threads").set(static_cast<double>(report.threads));
     metrics.gauge("serve.ops_per_sec").set(report.ops_per_sec);
     for (std::size_t q = 0; q < kQueryTypeCount; ++q) {
       const obs::MetricLabels labels{
@@ -205,6 +132,93 @@ DriveReport drive(const QueryEngine& engine, const DriveOptions& options) {
     }
   }
   return report;
+}
+
+DriveReport drive(const QueryEngine& engine, const DriveOptions& options) {
+  if (engine.keys().empty()) {
+    throw std::invalid_argument("serve::drive: engine key universe is empty");
+  }
+
+  exec::WorkerPool& pool = exec::global_pool();
+  const unsigned threads = pool.thread_count();
+
+  WorkloadSpec spec = options.workload;
+  spec.day_min = engine.day_min();
+  spec.day_max = engine.day_max();
+  const std::uint64_t key_count = engine.keys().size();
+  // Surface spec errors (bad theta, zero mix) here, on the caller, rather
+  // than inside the pool region where throwing is not allowed.
+  { Workload probe(spec, key_count, 0); }
+
+  const bool fixed_ops = options.ops_per_thread > 0;
+  const std::uint64_t budget = options.ops_per_thread;
+
+  std::vector<ParticipantOutcome> state(threads);
+  std::vector<LiveCount> live(threads);
+  obs::Observer* observer = obs::Observer::installed();
+  const obs::ScopedProgressSource progress(
+      observer ? &observer->progress_sources() : nullptr, "serve.ops",
+      [&live] {
+        std::uint64_t total = 0;
+        for (const LiveCount& c : live) {
+          total += c.ops.load(std::memory_order_relaxed);
+        }
+        return total;
+      });
+  const std::span<const dns::NssetId> keys = engine.keys();
+
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(
+                      std::max(options.duration_s, 0.0)));
+
+  pool.run_on_all([&](unsigned participant) {
+    ParticipantOutcome& me = state[participant];
+    Workload wl(spec, key_count, participant);
+    std::vector<TopEntry> scratch;
+    scratch.reserve(spec.topk_k);
+    std::uint64_t fp = 0;
+
+    Clock::time_point t_prev = Clock::now();
+    for (;;) {
+      if (fixed_ops && me.ops == budget) break;
+      const Op op = wl.next();
+      const auto type_index = static_cast<std::size_t>(op.type);
+      switch (op.type) {
+        case QueryType::PointLookup: {
+          const PointResult r = engine.point_lookup(keys[op.key_index]);
+          fp = fold_point_answer(fp, r.found, r.summary, r.series.size());
+          break;
+        }
+        case QueryType::TopK: {
+          const std::size_t n = engine.top_k(
+              static_cast<TopKMetric>(op.metric), op.k, scratch);
+          fp = fold_top_k_answer(
+              fp, std::span<const TopEntry>(scratch.data(), n));
+          break;
+        }
+        case QueryType::WindowScan: {
+          const WindowScanResult r = engine.window_scan(op.day_lo, op.day_hi);
+          fp = fold_window_scan_answer(fp, r);
+          break;
+        }
+      }
+      const Clock::time_point t_now = Clock::now();
+      me.hists[type_index].add(
+          std::chrono::duration<double, std::micro>(t_now - t_prev).count());
+      t_prev = t_now;
+      ++me.ops;
+      ++me.type_ops[type_index];
+      live[participant].ops.store(me.ops, std::memory_order_relaxed);
+      if (!fixed_ops && t_now >= deadline) break;
+    }
+    me.fingerprint = fp;
+  });
+
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return finalize_drive(state, wall_s);
 }
 
 }  // namespace ddos::serve

@@ -29,6 +29,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "serve/query_engine.h"
@@ -61,6 +62,9 @@ struct DriveReport {
   double wall_s = 0.0;
   std::uint64_t total_ops = 0;
   double ops_per_sec = 0.0;
+  /// Open-loop drives (net::drive_remote with target_qps > 0) record the
+  /// schedule they aimed for; 0 means closed loop.
+  double target_qps = 0.0;
   std::array<QueryTypeReport, kQueryTypeCount> by_type;
 
   /// Per-participant answer fingerprints (index == thread id) and their
@@ -74,6 +78,53 @@ struct DriveReport {
 /// enter through their bit pattern so the fold is exact, not rounded).
 std::uint64_t fingerprint_fold(std::uint64_t fp, std::uint64_t value);
 std::uint64_t fingerprint_fold(std::uint64_t fp, double value);
+
+// ---- shared per-answer folds -----------------------------------------
+//
+// The local driver folds engine structs, the remote driver folds decoded
+// wire answers; both must produce bit-identical fingerprints for the
+// same op stream, so the fold math lives here exactly once. A
+// PointLookup folds (nsset, found, events, timeouts, servfails,
+// series length, peak impact) — the remote PointOk body carries exactly
+// these fields, so wire answers fold losslessly.
+
+std::uint64_t fold_point_answer(std::uint64_t fp, bool found,
+                                const NssetSummary& summary,
+                                std::uint64_t series_len);
+std::uint64_t fold_top_k_answer(std::uint64_t fp,
+                                std::span<const TopEntry> rows);
+std::uint64_t fold_window_scan_answer(std::uint64_t fp,
+                                      const WindowScanResult& result);
+
+// ---- shared drive epilogue -------------------------------------------
+
+/// The canonical latency histogram shape every drive participant records
+/// into (10 ns .. 100 s, tenth-of-a-decade log bins). Local and remote
+/// participants must use this exact shape or the merge throws.
+util::LogHistogram drive_latency_histogram();
+
+/// Everything one drive participant accumulates: its op/type counters,
+/// its answer fingerprint and one latency histogram per query type
+/// (pre-shaped by the default constructor).
+struct ParticipantOutcome {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t ops = 0;
+  std::array<std::uint64_t, kQueryTypeCount> type_ops{};
+  std::vector<util::LogHistogram> hists;  // one per QueryType
+
+  ParticipantOutcome();
+};
+
+/// The drive epilogue shared by the local (serve::drive) and remote
+/// (net::drive_remote) paths: merges per-participant histograms, folds
+/// the combined fingerprint in participant order, computes throughput
+/// and latency quantiles, and republishes the merged distributions
+/// through the installed obs::Observer as `serve.ops{query=...}` /
+/// `serve.latency_us{query=...}` (plus serve.threads/serve.ops_per_sec
+/// gauges). Keeping it in one place is what stops the two drivers'
+/// reports from drifting.
+DriveReport finalize_drive(std::span<const ParticipantOutcome> outcomes,
+                           double wall_s);
 
 /// Run the load driver against `engine` on the global worker pool.
 /// Blocks until every participant finishes; safe to call repeatedly.

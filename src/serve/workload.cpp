@@ -34,27 +34,72 @@ std::string QueryMix::to_string() const {
          std::to_string(scan);
 }
 
-std::optional<QueryMix> parse_mix(std::string_view spec) {
+namespace {
+
+std::optional<QueryMix> mix_error(std::string* error, std::string_view spec,
+                                  const std::string& detail) {
+  if (error != nullptr) {
+    *error = "mix expects point:topk:scan relative weights (three "
+             "non-negative integers, at least one positive, e.g. 95:4:1), "
+             "got '" + std::string(spec) + "': " + detail;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<QueryMix> parse_mix(std::string_view spec,
+                                  std::string* error) {
+  static constexpr const char* kFieldNames[3] = {"point", "topk", "scan"};
   std::uint32_t parts[3] = {0, 0, 0};
   std::size_t begin = 0;
   for (int i = 0; i < 3; ++i) {
     const std::size_t end =
         i < 2 ? spec.find(':', begin) : spec.size();
-    if (end == std::string_view::npos) return std::nullopt;
+    if (end == std::string_view::npos) {
+      return mix_error(error, spec, "expected three ':'-separated fields");
+    }
     const std::string_view field = spec.substr(begin, end - begin);
-    if (field.empty()) return std::nullopt;
+    if (field.empty()) {
+      return mix_error(error, spec,
+                       std::string(kFieldNames[i]) + " weight is empty");
+    }
+    if (field.front() == '-') {
+      return mix_error(error, spec,
+                       std::string(kFieldNames[i]) + " weight '" +
+                           std::string(field) + "' is negative");
+    }
     const auto [ptr, ec] = std::from_chars(
         field.data(), field.data() + field.size(), parts[i]);
+    if (ec == std::errc::result_out_of_range) {
+      return mix_error(error, spec,
+                       std::string(kFieldNames[i]) + " weight '" +
+                           std::string(field) + "' overflows 32 bits");
+    }
     if (ec != std::errc{} || ptr != field.data() + field.size()) {
-      return std::nullopt;
+      return mix_error(error, spec,
+                       std::string(kFieldNames[i]) + " weight '" +
+                           std::string(field) +
+                           "' is not a non-negative integer");
     }
     begin = end + 1;
+  }
+  // The three weights are rolled against their sum, so the sum itself must
+  // fit the 32-bit draw (three u32s can wrap it).
+  const std::uint64_t total = static_cast<std::uint64_t>(parts[0]) +
+                              parts[1] + parts[2];
+  if (total == 0) {
+    return mix_error(error, spec,
+                     "all three weights are zero; at least one must be "
+                     "positive");
+  }
+  if (total > 0xFFFFFFFFull) {
+    return mix_error(error, spec, "weights sum past 32 bits");
   }
   QueryMix mix;
   mix.point = parts[0];
   mix.topk = parts[1];
   mix.scan = parts[2];
-  if (mix.total() == 0) return std::nullopt;
   return mix;
 }
 

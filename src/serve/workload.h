@@ -54,8 +54,13 @@ struct QueryMix {
 };
 
 /// Parse "P:T:S" (non-negative integers, at least one positive);
-/// nullopt on malformed input.
-std::optional<QueryMix> parse_mix(std::string_view spec);
+/// nullopt on malformed input. When `error` is non-null it receives a
+/// FlagParser-style diagnostic naming the expected form and the offending
+/// piece — negative weights, weights overflowing 32 bits, an overflowing
+/// total and all-zero mixes are each rejected with their own message
+/// instead of being silently normalized.
+std::optional<QueryMix> parse_mix(std::string_view spec,
+                                  std::string* error = nullptr);
 
 /// Per-thread key-rank chooser over a key universe of size n (> 0).
 class KeyChooser {

@@ -1,0 +1,368 @@
+// Wire-protocol acceptance: every message type must survive an
+// encode/decode round trip bit-exactly, and every malformed byte stream —
+// truncated, oversized, corrupted header, wrong body length, invalid enum
+// — must be rejected with a typed status instead of best-effort
+// acceptance. The fuzz loops at the end are the "never crash, never
+// silently accept" guarantee the server's connection handling stands on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/codec.h"
+#include "netsim/rng.h"
+
+namespace ddos::net {
+namespace {
+
+std::vector<std::uint8_t> one_hello(std::uint32_t request_id) {
+  std::vector<std::uint8_t> buf;
+  encode_hello(request_id, buf);
+  return buf;
+}
+
+Frame decode_ok(const std::vector<std::uint8_t>& buf) {
+  Frame frame;
+  std::size_t consumed = 0;
+  const DecodeStatus status = decode_frame(buf, frame, consumed);
+  EXPECT_EQ(status, DecodeStatus::Ok) << to_string(status);
+  EXPECT_EQ(consumed, buf.size());
+  return frame;
+}
+
+TEST(NetCodec, RoundTripsRequests) {
+  {
+    const Frame f = decode_ok(one_hello(7));
+    EXPECT_EQ(f.opcode, Opcode::Hello);
+    EXPECT_EQ(f.request_id, 7u);
+    EXPECT_TRUE(f.body.empty());
+  }
+  {
+    std::vector<std::uint8_t> buf;
+    encode_point_lookup(0xDEADBEEF, 0x0123456789ABCDEFull, buf);
+    const Frame f = decode_ok(buf);
+    EXPECT_EQ(f.opcode, Opcode::PointLookup);
+    EXPECT_EQ(f.request_id, 0xDEADBEEFu);
+    const auto key = decode_point_lookup(f);
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(*key, 0x0123456789ABCDEFull);
+  }
+  {
+    std::vector<std::uint8_t> buf;
+    encode_top_k(3, serve::TopKMetric::PeakImpact, 25, buf);
+    const auto req = decode_top_k(decode_ok(buf));
+    ASSERT_TRUE(req.has_value());
+    EXPECT_EQ(req->metric, serve::TopKMetric::PeakImpact);
+    EXPECT_EQ(req->k, 25u);
+  }
+  {
+    std::vector<std::uint8_t> buf;
+    encode_window_scan(9, -5, 1234, buf);
+    const auto req = decode_window_scan(decode_ok(buf));
+    ASSERT_TRUE(req.has_value());
+    EXPECT_EQ(req->day_lo, -5);
+    EXPECT_EQ(req->day_hi, 1234);
+  }
+}
+
+TEST(NetCodec, RoundTripsResponses) {
+  {
+    HelloResult hello;
+    hello.key_count = 12345;
+    hello.day_min = -3;
+    hello.day_max = 511;
+    hello.nsset_count = 777;
+    hello.engine_epoch = 42;
+    std::vector<std::uint8_t> buf;
+    encode_hello_ok(1, hello, buf);
+    const auto decoded = decode_hello_ok(decode_ok(buf));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, hello);
+  }
+  {
+    WirePointResult point;
+    point.found = true;
+    point.summary.nsset = 0xABCDu;
+    point.summary.events = 17;
+    point.summary.domains_hosted = 99999;
+    point.summary.peak_impact = 123.456789;
+    point.summary.max_failure_rate = 0.25;
+    point.summary.ok = 10;
+    point.summary.timeouts = 5;
+    point.summary.servfails = 2;
+    point.summary.first_day = -1;
+    point.summary.last_day = 500;
+    point.event_count = 17;
+    point.series_len = 31;
+    std::vector<std::uint8_t> buf;
+    encode_point_ok(2, point, buf);
+    const auto decoded = decode_point_ok(decode_ok(buf));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, point);
+  }
+  {
+    const std::vector<serve::TopEntry> rows = {
+        {1, 10.5}, {2, -0.0}, {0xFFFFFFFFFFFFFFFFull, 1e300}};
+    std::vector<std::uint8_t> buf;
+    encode_top_k_ok(3, rows, buf);
+    std::vector<serve::TopEntry> decoded;
+    ASSERT_TRUE(decode_top_k_ok(decode_ok(buf), decoded));
+    EXPECT_EQ(decoded, rows);
+
+    buf.clear();
+    encode_top_k_ok(4, {}, buf);  // zero rows is a valid answer
+    ASSERT_TRUE(decode_top_k_ok(decode_ok(buf), decoded));
+    EXPECT_TRUE(decoded.empty());
+  }
+  {
+    serve::WindowScanResult scan;
+    scan.day_lo = -7;
+    scan.day_hi = 100;
+    scan.events = 12;
+    scan.events_with_failures = 6;
+    scan.timeouts = 4;
+    scan.servfails = 2;
+    scan.impaired_10x = 3;
+    scan.severe_100x = 1;
+    scan.max_peak_impact = 512.125;
+    std::vector<std::uint8_t> buf;
+    encode_scan_ok(5, scan, buf);
+    const auto decoded = decode_scan_ok(decode_ok(buf));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, scan);
+  }
+  {
+    std::vector<std::uint8_t> buf;
+    encode_error(6, ErrorCode::BadRequest, "key out of range", buf);
+    const auto decoded = decode_error(decode_ok(buf));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->code, ErrorCode::BadRequest);
+    EXPECT_EQ(decoded->message, "key out of range");
+  }
+}
+
+TEST(NetCodec, PipelinedFramesDecodeSequentially) {
+  std::vector<std::uint8_t> buf;
+  encode_point_lookup(0, 11, buf);
+  encode_top_k(1, serve::TopKMetric::Attacks, 5, buf);
+  encode_window_scan(2, 0, 9, buf);
+
+  std::span<const std::uint8_t> rest(buf);
+  for (std::uint32_t expect_id = 0; expect_id < 3; ++expect_id) {
+    Frame frame;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_frame(rest, frame, consumed), DecodeStatus::Ok);
+    EXPECT_EQ(frame.request_id, expect_id);
+    rest = rest.subspan(consumed);
+  }
+  EXPECT_TRUE(rest.empty());
+}
+
+TEST(NetCodec, EveryTruncatedPrefixAsksForMore) {
+  std::vector<std::uint8_t> buf;
+  encode_point_lookup(77, 123456, buf);
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    Frame frame;
+    std::size_t consumed = 0;
+    const DecodeStatus status = decode_frame(
+        std::span<const std::uint8_t>(buf.data(), len), frame, consumed);
+    EXPECT_EQ(status, DecodeStatus::NeedMore) << "prefix length " << len;
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(NetCodec, OversizedLengthRejectedBeforeBuffering) {
+  // Only the 4-byte length prefix has arrived, announcing a payload past
+  // the cap: the decoder must reject NOW, not wait for the bytes.
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  std::vector<std::uint8_t> buf;
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(huge >> (8 * i)));
+  }
+  Frame frame;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_frame(buf, frame, consumed), DecodeStatus::Oversized);
+}
+
+TEST(NetCodec, PayloadShorterThanHeaderIsTruncated) {
+  std::vector<std::uint8_t> buf = {4, 0, 0, 0, kMagic, kProtocolVersion, 1,
+                                   0};
+  Frame frame;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_frame(buf, frame, consumed), DecodeStatus::Truncated);
+}
+
+TEST(NetCodec, CorruptedHeaderBytesGetTypedRejections) {
+  const std::vector<std::uint8_t> good = one_hello(1);
+  ASSERT_GE(good.size(), 4 + kHeaderBytes);
+
+  struct Case {
+    std::size_t offset;  // into the payload header
+    std::uint8_t value;
+    DecodeStatus expect;
+  };
+  const Case cases[] = {
+      {0, 0x00, DecodeStatus::BadMagic},
+      {1, 99, DecodeStatus::BadVersion},
+      {2, 0x55, DecodeStatus::BadOpcode},
+      {3, 1, DecodeStatus::BadReserved},
+  };
+  for (const Case& c : cases) {
+    std::vector<std::uint8_t> bad = good;
+    bad[4 + c.offset] = c.value;
+    Frame frame;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decode_frame(bad, frame, consumed), c.expect)
+        << "offset " << c.offset;
+  }
+}
+
+// Build a frame whose payload is (header with `op`) + `body`, bypassing
+// the typed encoders so tests can hand the decoders broken bodies.
+std::vector<std::uint8_t> raw_frame(Opcode op,
+                                    const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> buf;
+  const std::uint32_t payload =
+      static_cast<std::uint32_t>(kHeaderBytes + body.size());
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(payload >> (8 * i)));
+  }
+  buf.push_back(kMagic);
+  buf.push_back(kProtocolVersion);
+  buf.push_back(static_cast<std::uint8_t>(op));
+  buf.push_back(0);
+  for (int i = 0; i < 4; ++i) buf.push_back(0);  // request_id 0
+  buf.insert(buf.end(), body.begin(), body.end());
+  return buf;
+}
+
+TEST(NetCodec, BodyDecodersRejectWrongLengthsAndValues) {
+  // PointLookup body must be exactly 8 bytes.
+  for (const std::size_t len : {std::size_t{7}, std::size_t{9}}) {
+    const auto buf = raw_frame(Opcode::PointLookup,
+                               std::vector<std::uint8_t>(len, 0));
+    EXPECT_FALSE(decode_point_lookup(decode_ok(buf)).has_value())
+        << "body length " << len;
+  }
+  // TopK: metric must be 0..2 and the pad bytes zero.
+  {
+    std::vector<std::uint8_t> body = {3, 0, 0, 0, 5, 0, 0, 0};
+    EXPECT_FALSE(decode_top_k(decode_ok(raw_frame(Opcode::TopK, body)))
+                     .has_value())
+        << "metric 3 must be rejected";
+    body = {0, 1, 0, 0, 5, 0, 0, 0};
+    EXPECT_FALSE(decode_top_k(decode_ok(raw_frame(Opcode::TopK, body)))
+                     .has_value())
+        << "non-zero pad must be rejected";
+  }
+  // PointOk: found must be 0/1.
+  {
+    std::vector<std::uint8_t> good;
+    encode_point_ok(0, WirePointResult{}, good);
+    Frame f = decode_ok(good);
+    std::vector<std::uint8_t> body(f.body.begin(), f.body.end());
+    body[0] = 2;
+    EXPECT_FALSE(decode_point_ok(decode_ok(raw_frame(Opcode::PointOk, body)))
+                     .has_value());
+  }
+  // TopKOk: row count must match the byte count.
+  {
+    std::vector<std::uint8_t> body = {2, 0, 0, 0};  // claims 2 rows, has 1
+    body.resize(4 + 16, 0);
+    std::vector<serve::TopEntry> rows;
+    EXPECT_FALSE(
+        decode_top_k_ok(decode_ok(raw_frame(Opcode::TopKOk, body)), rows));
+  }
+  // Error: message length must match the remaining bytes.
+  {
+    std::vector<std::uint8_t> body = {1, 0, 5, 0, 'a', 'b'};
+    EXPECT_FALSE(decode_error(decode_ok(raw_frame(Opcode::Error, body)))
+                     .has_value());
+  }
+  // A decoder handed the wrong opcode's frame declines.
+  {
+    std::vector<std::uint8_t> buf;
+    encode_top_k(0, serve::TopKMetric::Attacks, 5, buf);
+    EXPECT_FALSE(decode_point_lookup(decode_ok(buf)).has_value());
+    EXPECT_FALSE(decode_window_scan(decode_ok(buf)).has_value());
+  }
+}
+
+TEST(NetCodec, ErrorMessageClampedToFrameSafeLength) {
+  const std::string huge(600, 'x');
+  std::vector<std::uint8_t> buf;
+  encode_error(0, ErrorCode::Internal, huge, buf);
+  const auto decoded = decode_error(decode_ok(buf));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->message.size(), 512u);
+}
+
+TEST(NetCodec, FuzzedRandomBuffersNeverCrashOrOverconsume) {
+  netsim::Rng rng(0xC0DEC);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const std::size_t len = rng.uniform_u64(64);
+    std::vector<std::uint8_t> buf(len);
+    for (std::uint8_t& b : buf) {
+      b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    }
+    Frame frame;
+    std::size_t consumed = 0;
+    const DecodeStatus status = decode_frame(buf, frame, consumed);
+    if (status == DecodeStatus::Ok) {
+      ASSERT_LE(consumed, buf.size());
+      // Whatever parsed, the strict body decoders must not read past the
+      // span they were given (ASan/val would flag it); they may accept or
+      // reject, but must return.
+      decode_point_lookup(frame);
+      decode_top_k(frame);
+      decode_window_scan(frame);
+      decode_hello_ok(frame);
+      decode_point_ok(frame);
+      std::vector<serve::TopEntry> rows;
+      decode_top_k_ok(frame, rows);
+      decode_scan_ok(frame);
+      decode_error(frame);
+    } else {
+      EXPECT_EQ(consumed, 0u);
+    }
+  }
+}
+
+TEST(NetCodec, FuzzedBitFlipsOnValidFramesNeverCrash) {
+  netsim::Rng rng(0xBADC0DE);
+  std::vector<std::uint8_t> pristine;
+  encode_point_ok(123, WirePointResult{}, pristine);
+  const std::vector<serve::TopEntry> rows = {{1, 2.0}, {3, 4.0}};
+  encode_top_k_ok(124, rows, pristine);
+  encode_error(125, ErrorCode::Malformed, "boom", pristine);
+
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::vector<std::uint8_t> buf = pristine;
+    // Flip 1..4 random bytes, sometimes truncate.
+    const int flips = 1 + static_cast<int>(rng.uniform_u64(4));
+    for (int i = 0; i < flips; ++i) {
+      buf[rng.uniform_u64(buf.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.uniform_u64(255));
+    }
+    if (rng.uniform_u64(4) == 0) {
+      buf.resize(rng.uniform_u64(buf.size() + 1));
+    }
+    std::span<const std::uint8_t> rest(buf);
+    // Walk frames like the server does until the stream breaks or drains.
+    for (;;) {
+      Frame frame;
+      std::size_t consumed = 0;
+      const DecodeStatus status = decode_frame(rest, frame, consumed);
+      if (status != DecodeStatus::Ok) break;
+      std::vector<serve::TopEntry> rows;
+      decode_point_ok(frame);
+      decode_top_k_ok(frame, rows);
+      decode_error(frame);
+      rest = rest.subspan(consumed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ddos::net

@@ -38,6 +38,41 @@ TEST(ParseMix, RejectsMalformedSpecs) {
   EXPECT_FALSE(parse_mix("0:0:0").has_value()) << "zero total is a no-op";
 }
 
+// The optional `error` out-param carries a FlagParser-style diagnostic:
+// it names the expected form, echoes the offending spec, and says which
+// field is wrong and why — that exact string is what `ddosrepro serve
+// --mix` prints, so the wording is a contract, not decoration.
+TEST(ParseMix, DiagnosesWhatIsWrongWithTheSpec) {
+  const auto diag = [](std::string_view spec) {
+    std::string error;
+    EXPECT_FALSE(parse_mix(spec, &error).has_value()) << spec;
+    return error;
+  };
+
+  const std::string negative = diag("95:-4:1");
+  EXPECT_NE(negative.find("point:topk:scan"), std::string::npos);
+  EXPECT_NE(negative.find("'95:-4:1'"), std::string::npos);
+  EXPECT_NE(negative.find("topk weight '-4' is negative"), std::string::npos);
+
+  EXPECT_NE(diag("95:4:9999999999").find(
+                "scan weight '9999999999' overflows 32 bits"),
+            std::string::npos);
+  EXPECT_NE(diag("0:0:0").find("all three weights are zero"),
+            std::string::npos);
+  EXPECT_NE(diag("95:4").find("expected three ':'-separated fields"),
+            std::string::npos);
+  EXPECT_NE(diag("95::1").find("topk weight is empty"), std::string::npos);
+  EXPECT_NE(diag("9x:4:1").find(
+                "point weight '9x' is not a non-negative integer"),
+            std::string::npos);
+  // Each weight fits u32 but the roll is against the sum, which must too.
+  EXPECT_NE(diag("4000000000:4000000000:1").find("weights sum past 32 bits"),
+            std::string::npos);
+
+  // A null error pointer is allowed: rejection without diagnostics.
+  EXPECT_FALSE(parse_mix("95:x:1", nullptr).has_value());
+}
+
 TEST(ParseDistribution, RoundTrips) {
   EXPECT_EQ(parse_distribution("uniform"), Distribution::Uniform);
   EXPECT_EQ(parse_distribution("zipfian"), Distribution::Zipfian);

@@ -12,7 +12,15 @@ Checks, in order:
   4. required series are present: at least one stream.* gauge (queue
      depths / watermarks from the streaming pipeline), proc.vm_rss_bytes,
      and at least one progress.* source;
-  5. every value is a finite number (no NaN/Inf leaked into the stream).
+  5. every value is a finite number (no NaN/Inf leaked into the stream);
+  6. every counter-derived `<key>.rate` series is non-negative in every
+     sample — counters are monotone, so a negative windowed rate means a
+     counter ran backwards (a lost shard or a torn snapshot), which the
+     net.* counters would surface here first;
+  7. sample-time regressions are flagged: an inter-sample gap more than
+     10x the median cadence is a sampler stall (reported as a warning
+     with the gap and line number; t_ms going backwards is already a
+     hard failure via check 2).
 
 Exit 0 on success with a one-line summary; exit 1 with the first
 violation otherwise. Standard library only.
@@ -40,6 +48,7 @@ def main(argv):
     series = set()
     samples = 0
     prev_t = None
+    gaps = []  # (gap_ms, lineno)
     with open(path) as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
@@ -59,6 +68,8 @@ def main(argv):
             if prev_t is not None and t <= prev_t:
                 return fail(f"line {lineno}: t_ms {t} not strictly greater "
                             f"than previous sample's {prev_t}")
+            if prev_t is not None:
+                gaps.append((t - prev_t, lineno))
             prev_t = t
             values = obj["values"]
             if not isinstance(values, dict) or not values:
@@ -67,6 +78,10 @@ def main(argv):
                 if not isinstance(v, (int, float)) or not math.isfinite(v):
                     return fail(f"line {lineno}: series {key!r} has "
                                 f"non-finite value {v!r}")
+                if key.endswith(".rate") and v < 0:
+                    return fail(f"line {lineno}: rate series {key!r} is "
+                                f"negative ({v!r}); its counter ran "
+                                "backwards")
                 series.add(key)
             samples += 1
 
@@ -86,10 +101,23 @@ def main(argv):
             return fail(f"required series missing: no {what} "
                         f"(saw {len(series)} series)")
 
+    stalls = 0
+    if len(gaps) >= 3:
+        median_gap = sorted(g for g, _ in gaps)[len(gaps) // 2]
+        for gap, lineno in gaps:
+            if gap > 10 * median_gap:
+                stalls += 1
+                print(f"telemetry JSONL warning: line {lineno}: "
+                      f"{gap:.1f} ms since previous sample "
+                      f"(median cadence {median_gap:.1f} ms) — "
+                      "sampler stall", file=sys.stderr)
+
+    rates = [s for s in series if s.endswith(".rate")]
     print(f"telemetry JSONL check passed: {samples} samples, "
           f"{len(series)} series "
           f"({len(required_groups['progress.* source'])} progress, "
-          f"{len(required_groups['stream.* queue/watermark gauge'])} stream)")
+          f"{len(required_groups['stream.* queue/watermark gauge'])} stream, "
+          f"{len(rates)} rate), {stalls} sampler stalls flagged")
     return 0
 
 

@@ -25,7 +25,9 @@ inline constexpr std::array<CommandInfo, 7> kCommands{{
     {"run", "execute the seventeen-month pipeline, print headline shapes"},
     {"generate", "run + persist the datasets to a DRS store (--store)"},
     {"analyze", "recompute statistics from --store or --events-csv"},
-    {"serve", "load a DRS store, drive the concurrent query engine"},
+    {"serve",
+     "load a DRS store, drive the query engine: in-process, over TCP "
+     "(--listen), or against a remote server (--connect)"},
     {"transip", "replay the TransIP case study"},
     {"russia", "replay the mil.ru / rzd.ru case studies"},
 }};

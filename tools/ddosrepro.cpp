@@ -13,6 +13,8 @@
 //   ddosrepro serve    --store <file.drs> [--threads N] [--duration-s S]
 //                      [--serve-ops N] [--dist uniform|zipfian] [--theta X]
 //                      [--mix P:T:S] [--topk K] [--scan-days N]
+//   ddosrepro serve    --store <file.drs> --listen host:port [--refill S]
+//   ddosrepro serve    --connect host:port [--target-qps Q] [drive flags]
 //   ddosrepro transip  [--scale X]
 //   ddosrepro russia
 //
@@ -43,7 +45,13 @@
 // closed-loop client threads (mixed phase) and reports per-query-type
 // throughput and latency quantiles plus a deterministic answer
 // fingerprint (--serve-ops fixed-ops mode; re-runs must print the same
-// fingerprint line for equal seed/threads).
+// fingerprint line for equal seed/threads). With --listen it instead puts
+// the engine on the wire (net::Server, epoll event loops; --refill polls
+// the store and hot-swaps a rebuilt engine); with --connect it drives a
+// remote server over TCP — closed loop by default, open loop at a fixed
+// schedule with --target-qps — and a remote drive with C connections
+// prints the same fingerprint as a local drive with C threads over the
+// same store, seed and mix.
 //
 // Time-resolved telemetry (run): --telemetry-out streams one JSONL sample
 // of every metric/progress/process series per --telemetry-interval-ms;
@@ -54,6 +62,7 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -67,6 +76,8 @@
 #include "core/audit.h"
 #include "core/export.h"
 #include "dns/zonefile.h"
+#include "net/remote.h"
+#include "net/server.h"
 #include "obs/export_html.h"
 #include "obs/obs.h"
 #include "obs/report.h"
@@ -535,10 +546,53 @@ int cmd_russia(util::FlagParser&) {
   return 0;
 }
 
+// SIGINT/SIGTERM flag for `serve --listen`: the handler only sets this,
+// the serving loop polls it.
+volatile std::sig_atomic_t g_serve_stop = 0;
+void on_serve_signal(int) { g_serve_stop = 1; }
+
+/// "host:port" -> (host, port). Port must be 0..65535; 0 means ephemeral.
+bool parse_host_port(const std::string& spec, std::string& host,
+                     std::uint16_t& port, std::string& error) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    error = "expected host:port, got '" + spec + "'";
+    return false;
+  }
+  host = spec.substr(0, colon);
+  const std::string port_str = spec.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || v > 65535) {
+    error = "bad port '" + port_str + "' in '" + spec + "'";
+    return false;
+  }
+  port = static_cast<std::uint16_t>(v);
+  return true;
+}
+
 int cmd_serve(util::FlagParser& flags) {
   const std::string store_path = flags.get_string("store");
-  if (store_path.empty()) {
-    std::cerr << "serve requires --store <file.drs>\n";
+  const std::string listen_spec = flags.get_string("listen");
+  const std::string connect_spec = flags.get_string("connect");
+  const double target_qps = flags.get_double("target-qps");
+  const double refill_s = flags.get_double("refill");
+  if (!listen_spec.empty() && !connect_spec.empty()) {
+    std::cerr << "--listen and --connect are mutually exclusive\n";
+    return 2;
+  }
+  if (target_qps > 0.0 && connect_spec.empty()) {
+    std::cerr << "--target-qps (open-loop driving) requires --connect\n";
+    return 2;
+  }
+  if (refill_s > 0.0 && listen_spec.empty()) {
+    std::cerr << "--refill requires --listen\n";
+    return 2;
+  }
+  if (store_path.empty() && connect_spec.empty()) {
+    std::cerr << "serve requires --store <file.drs> (or --connect to drive "
+                 "a remote server)\n";
     return 2;
   }
 
@@ -552,11 +606,10 @@ int cmd_serve(util::FlagParser& flags) {
   }
   opts.workload.dist = *dist;
   opts.workload.theta = flags.get_double("theta");
-  const auto mix = serve::parse_mix(flags.get_string("mix"));
+  std::string mix_error;
+  const auto mix = serve::parse_mix(flags.get_string("mix"), &mix_error);
   if (!mix) {
-    std::cerr << "--mix must be point:topk:scan relative weights with a "
-                 "positive total, got '"
-              << flags.get_string("mix") << "'\n";
+    std::cerr << "flag --" << mix_error << "\n";
     return 2;
   }
   opts.workload.mix = *mix;
@@ -568,7 +621,9 @@ int cmd_serve(util::FlagParser& flags) {
   opts.duration_s = flags.get_double("duration-s");
 
   const unsigned threads = static_cast<unsigned>(flags.get_uint("threads"));
-  exec::set_global_threads(threads);
+  if (listen_spec.empty() && connect_spec.empty()) {
+    exec::set_global_threads(threads);
+  }
 
   const std::string metrics_path = flags.get_string("metrics-out");
   const std::string metrics_format = flags.get_string("metrics-format");
@@ -611,11 +666,313 @@ int cmd_serve(util::FlagParser& flags) {
                      });
   }
 
-  // Fill phase: load the stored run, then build the serve indexes.
   using Clock = std::chrono::steady_clock;
   const auto seconds_since = [](Clock::time_point t0) {
     return std::chrono::duration<double>(Clock::now() - t0).count();
   };
+
+  // Report print + observability outputs shared by the in-process and
+  // remote drive paths (`source` is the store path or the server address).
+  const auto drive_epilogue = [&](const serve::DriveReport& report,
+                                  const std::string& source) -> int {
+    util::TextTable table(
+        {"query", "ops", "ops/sec", "p50 us", "p99 us", "p99.9 us"});
+    for (const serve::QueryTypeReport& tr : report.by_type) {
+      table.add_row({serve::to_string(tr.type), util::with_commas(tr.ops),
+                     util::format_count(tr.ops_per_sec),
+                     util::format_fixed(tr.p50_us, 2),
+                     util::format_fixed(tr.p99_us, 2),
+                     util::format_fixed(tr.p999_us, 2)});
+    }
+    std::cout << table.to_string();
+    std::cout << "total: " << util::with_commas(report.total_ops)
+              << " ops in " << util::format_fixed(report.wall_s, 2)
+              << "s = " << util::format_count(report.ops_per_sec)
+              << "ops/sec";
+    if (report.target_qps > 0.0) {
+      std::cout << " (open loop, intended "
+                << util::format_count(report.target_qps)
+                << "qps; latency from intended send times)";
+    }
+    std::cout << "\n";
+    char fp[17];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(report.fingerprint));
+    std::cout << "fingerprint: " << fp << "\n";
+
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::cerr << "cannot write " << trace_path << "\n";
+        return 1;
+      }
+      observer->tracer().write_chrome_json(out);
+      std::cout << "wrote " << observer->tracer().event_count()
+                << " trace spans to " << trace_path << "\n";
+    }
+    if (sampler && !telemetry_path.empty()) {
+      std::cout << "wrote " << sampler->samples_taken()
+                << " telemetry samples (" << sampler->series().series_count()
+                << " series) to " << telemetry_path << "\n";
+    }
+    if (!dashboard_path.empty()) {
+      obs::DashboardOptions dopts;
+      dopts.title = "ddosrepro serve (" + source + ")";
+      dopts.meta = {
+          {"source", source},
+          {"threads", std::to_string(report.threads)},
+          {"distribution", serve::to_string(opts.workload.dist)},
+          {"mix", opts.workload.mix.to_string()},
+          {"total ops", util::with_commas(report.total_ops)},
+          {"ops/sec", util::format_count(report.ops_per_sec)},
+      };
+      if (!obs::write_dashboard_html_file(dashboard_path, *observer,
+                                          sampler ? &*sampler : nullptr,
+                                          dopts)) {
+        std::cerr << "cannot write " << dashboard_path << "\n";
+        return 1;
+      }
+      std::cout << "wrote serve dashboard to " << dashboard_path << "\n";
+    }
+    if (!metrics_path.empty() && metrics_format == "openmetrics") {
+      std::ofstream out(metrics_path);
+      if (!out) {
+        std::cerr << "cannot write " << metrics_path << "\n";
+        return 1;
+      }
+      out << observer->metrics().snapshot().to_openmetrics();
+      std::cout << "wrote OpenMetrics exposition to " << metrics_path
+                << "\n";
+    } else if (!metrics_path.empty()) {
+      obs::RunReport run_report("serve");
+      run_report.add_config("source", source);
+      run_report.add_config("seed", flags.get_int("seed"));
+      run_report.add_config("threads",
+                            static_cast<std::int64_t>(report.threads));
+      run_report.add_config("dist",
+                            std::string(serve::to_string(opts.workload.dist)));
+      run_report.add_config("theta", opts.workload.theta);
+      run_report.add_config("mix", opts.workload.mix.to_string());
+      if (report.target_qps > 0.0) {
+        run_report.add_config("target_qps", report.target_qps);
+      }
+      run_report.add_result("total_ops",
+                            static_cast<std::int64_t>(report.total_ops));
+      run_report.add_result("ops_per_sec", report.ops_per_sec);
+      run_report.add_result("fingerprint", std::string(fp));
+      for (const serve::QueryTypeReport& tr : report.by_type) {
+        const std::string prefix = serve::to_string(tr.type);
+        run_report.add_result(prefix + "_ops",
+                              static_cast<std::int64_t>(tr.ops));
+        run_report.add_result(prefix + "_p50_us", tr.p50_us);
+        run_report.add_result(prefix + "_p99_us", tr.p99_us);
+        run_report.add_result(prefix + "_p999_us", tr.p999_us);
+      }
+      std::ofstream out(metrics_path);
+      if (!out) {
+        std::cerr << "cannot write " << metrics_path << "\n";
+        return 1;
+      }
+      run_report.write(out, *observer);
+      std::cout << "wrote serve report to " << metrics_path << "\n";
+    }
+    return 0;
+  };
+
+  // Remote drive: the server owns the store and the engine; this side is
+  // workload generation, wire round trips and the shared epilogue.
+  if (!connect_spec.empty()) {
+    std::string host, hp_error;
+    std::uint16_t port = 0;
+    if (!parse_host_port(connect_spec, host, port, hp_error)) {
+      std::cerr << "flag --connect " << hp_error << "\n";
+      return 2;
+    }
+    net::RemoteDriveOptions ropts;
+    ropts.host = host;
+    ropts.port = port;
+    ropts.connections = threads;
+    ropts.workload = opts.workload;
+    ropts.ops_per_thread = opts.ops_per_thread;
+    ropts.duration_s = opts.duration_s;
+    ropts.target_qps = target_qps;
+    std::cout << "remote: " << host << ":" << port << ", " << threads
+              << " connection" << (threads == 1 ? "" : "s") << ", ";
+    if (target_qps > 0.0) {
+      std::cout << "open loop @ " << util::format_count(target_qps) << "qps";
+    } else {
+      std::cout << "closed loop";
+    }
+    std::cout << ", mix " << opts.workload.mix.to_string() << "\n";
+    serve::DriveReport report;
+    try {
+      report = net::drive_remote(ropts);
+    } catch (const std::exception& e) {
+      std::cerr << "remote drive failed: " << e.what() << "\n";
+      return 1;
+    }
+    completed_ops.store(report.total_ops, std::memory_order_relaxed);
+    if (sampler) sampler->stop();
+    return drive_epilogue(report, connect_spec);
+  }
+
+  // Listen mode: the engine lives behind the server's atomic handle so
+  // --refill can swap a rebuilt one in without dropping connections.
+  if (!listen_spec.empty()) {
+    std::string host, hp_error;
+    std::uint16_t port = 0;
+    if (!parse_host_port(listen_spec, host, port, hp_error)) {
+      std::cerr << "flag --listen " << hp_error << "\n";
+      return 2;
+    }
+    std::shared_ptr<const net::EngineHandle> handle;
+    const Clock::time_point load_start = Clock::now();
+    try {
+      handle = net::EngineHandle::load(store_path, /*epoch=*/0);
+    } catch (const store::StoreError& e) {
+      std::cerr << "store error: " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "fill: " << store_path << " loaded+indexed in "
+              << util::format_fixed(seconds_since(load_start), 2) << "s; "
+              << util::with_commas(handle->engine().nsset_count())
+              << " NSSets, "
+              << util::with_commas(handle->engine().series_points())
+              << " series points, "
+              << util::with_commas(handle->engine().leaderboard_entries())
+              << " leaderboard rows\n";
+    if (handle->engine().keys().empty()) {
+      std::cerr << "store has no indexable NSSets to serve\n";
+      return 1;
+    }
+    net::ServerOptions sopts;
+    sopts.host = host;
+    sopts.port = port;
+    sopts.threads = threads;
+    net::Server server(std::move(handle), sopts);
+    try {
+      server.start();
+    } catch (const std::exception& e) {
+      std::cerr << "cannot listen on " << listen_spec << ": " << e.what()
+                << "\n";
+      return 1;
+    }
+    std::cout << "listening on " << host << ":" << server.port() << " ("
+              << threads << " event loop" << (threads == 1 ? "" : "s");
+    if (refill_s > 0.0) {
+      std::cout << ", refill poll every " << util::format_fixed(refill_s, 1)
+                << "s";
+    }
+    // Flushed immediately: harnesses parse the resolved port from this line.
+    std::cout << ")" << std::endl;
+
+    g_serve_stop = 0;
+    std::signal(SIGINT, on_serve_signal);
+    std::signal(SIGTERM, on_serve_signal);
+    std::error_code ec;
+    auto last_mtime = std::filesystem::last_write_time(store_path, ec);
+    std::uint64_t epoch = 0;
+    const auto poll_interval = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(refill_s > 0.0 ? refill_s : 1.0));
+    Clock::time_point next_poll = Clock::now() + poll_interval;
+    while (g_serve_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      if (refill_s <= 0.0 || Clock::now() < next_poll) continue;
+      next_poll = Clock::now() + poll_interval;
+      const auto mtime = std::filesystem::last_write_time(store_path, ec);
+      if (ec || mtime == last_mtime) continue;
+      last_mtime = mtime;
+      const Clock::time_point t0 = Clock::now();
+      try {
+        auto fresh = net::EngineHandle::load(store_path, ++epoch);
+        const std::size_t nssets = fresh->engine().nsset_count();
+        server.install_engine(std::move(fresh));
+        std::cout << "refill: engine epoch " << epoch << " ("
+                  << util::with_commas(nssets) << " NSSets) swapped in after "
+                  << util::format_fixed(seconds_since(t0), 2) << "s"
+                  << std::endl;
+      } catch (const std::exception& e) {
+        // Keep serving the previous epoch; a half-written store must not
+        // take the server down.
+        std::cerr << "refill failed (serving previous epoch): " << e.what()
+                  << "\n";
+      }
+    }
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    server.stop();
+    const net::ServerStats stats = server.stats();
+    completed_ops.store(stats.requests, std::memory_order_relaxed);
+    if (sampler) sampler->stop();
+    std::cout << "served " << util::with_commas(stats.requests)
+              << " requests over "
+              << util::with_commas(stats.connections_accepted)
+              << " connections (rx " << util::with_commas(stats.rx_bytes)
+              << " B, tx " << util::with_commas(stats.tx_bytes) << " B), "
+              << stats.malformed_frames << " malformed, "
+              << stats.engine_swaps << " engine swap"
+              << (stats.engine_swaps == 1 ? "" : "s") << "\n";
+    if (sampler && !telemetry_path.empty()) {
+      std::cout << "wrote " << sampler->samples_taken()
+                << " telemetry samples (" << sampler->series().series_count()
+                << " series) to " << telemetry_path << "\n";
+    }
+    if (!dashboard_path.empty()) {
+      obs::DashboardOptions dopts;
+      dopts.title = "ddosrepro serve --listen (" + store_path + ")";
+      dopts.meta = {
+          {"store", store_path},
+          {"listen", host + ":" + std::to_string(server.port())},
+          {"requests", util::with_commas(stats.requests)},
+          {"connections", util::with_commas(stats.connections_accepted)},
+          {"engine swaps", std::to_string(stats.engine_swaps)},
+      };
+      if (!obs::write_dashboard_html_file(dashboard_path, *observer,
+                                          sampler ? &*sampler : nullptr,
+                                          dopts)) {
+        std::cerr << "cannot write " << dashboard_path << "\n";
+        return 1;
+      }
+      std::cout << "wrote serve dashboard to " << dashboard_path << "\n";
+    }
+    if (!metrics_path.empty() && metrics_format == "openmetrics") {
+      std::ofstream out(metrics_path);
+      if (!out) {
+        std::cerr << "cannot write " << metrics_path << "\n";
+        return 1;
+      }
+      out << observer->metrics().snapshot().to_openmetrics();
+      std::cout << "wrote OpenMetrics exposition to " << metrics_path
+                << "\n";
+    } else if (!metrics_path.empty()) {
+      obs::RunReport run_report("serve-listen");
+      run_report.add_config("store", store_path);
+      run_report.add_config("listen",
+                            host + ":" + std::to_string(server.port()));
+      run_report.add_config("threads", static_cast<std::int64_t>(threads));
+      run_report.add_result("requests",
+                            static_cast<std::int64_t>(stats.requests));
+      run_report.add_result(
+          "connections",
+          static_cast<std::int64_t>(stats.connections_accepted));
+      run_report.add_result("rx_bytes",
+                            static_cast<std::int64_t>(stats.rx_bytes));
+      run_report.add_result("tx_bytes",
+                            static_cast<std::int64_t>(stats.tx_bytes));
+      run_report.add_result(
+          "engine_swaps", static_cast<std::int64_t>(stats.engine_swaps));
+      std::ofstream out(metrics_path);
+      if (!out) {
+        std::cerr << "cannot write " << metrics_path << "\n";
+        return 1;
+      }
+      run_report.write(out, *observer);
+      std::cout << "wrote serve report to " << metrics_path << "\n";
+    }
+    return 0;
+  }
+
+  // Fill phase: load the stored run, then build the serve indexes.
   scenario::StoredRun run;
   const Clock::time_point load_start = Clock::now();
   try {
@@ -658,97 +1015,7 @@ int cmd_serve(util::FlagParser& flags) {
   const serve::DriveReport report = serve::drive(engine, opts);
   completed_ops.store(report.total_ops, std::memory_order_relaxed);
   if (sampler) sampler->stop();
-
-  util::TextTable table(
-      {"query", "ops", "ops/sec", "p50 us", "p99 us", "p99.9 us"});
-  for (const serve::QueryTypeReport& tr : report.by_type) {
-    table.add_row({serve::to_string(tr.type), util::with_commas(tr.ops),
-                   util::format_count(tr.ops_per_sec),
-                   util::format_fixed(tr.p50_us, 2),
-                   util::format_fixed(tr.p99_us, 2),
-                   util::format_fixed(tr.p999_us, 2)});
-  }
-  std::cout << table.to_string();
-  std::cout << "total: " << util::with_commas(report.total_ops) << " ops in "
-            << util::format_fixed(report.wall_s, 2) << "s = "
-            << util::format_count(report.ops_per_sec) << "ops/sec\n";
-  char fp[17];
-  std::snprintf(fp, sizeof(fp), "%016llx",
-                static_cast<unsigned long long>(report.fingerprint));
-  std::cout << "fingerprint: " << fp << "\n";
-
-  if (!trace_path.empty()) {
-    std::ofstream out(trace_path);
-    if (!out) {
-      std::cerr << "cannot write " << trace_path << "\n";
-      return 1;
-    }
-    observer->tracer().write_chrome_json(out);
-    std::cout << "wrote " << observer->tracer().event_count()
-              << " trace spans to " << trace_path << "\n";
-  }
-  if (sampler && !telemetry_path.empty()) {
-    std::cout << "wrote " << sampler->samples_taken() << " telemetry samples ("
-              << sampler->series().series_count() << " series) to "
-              << telemetry_path << "\n";
-  }
-  if (!dashboard_path.empty()) {
-    obs::DashboardOptions dopts;
-    dopts.title = "ddosrepro serve (" + store_path + ")";
-    dopts.meta = {
-        {"store", store_path},
-        {"threads", std::to_string(threads)},
-        {"distribution", serve::to_string(opts.workload.dist)},
-        {"mix", opts.workload.mix.to_string()},
-        {"total ops", util::with_commas(report.total_ops)},
-        {"ops/sec", util::format_count(report.ops_per_sec)},
-    };
-    if (!obs::write_dashboard_html_file(dashboard_path, *observer,
-                                        sampler ? &*sampler : nullptr,
-                                        dopts)) {
-      std::cerr << "cannot write " << dashboard_path << "\n";
-      return 1;
-    }
-    std::cout << "wrote serve dashboard to " << dashboard_path << "\n";
-  }
-  if (!metrics_path.empty() && metrics_format == "openmetrics") {
-    std::ofstream out(metrics_path);
-    if (!out) {
-      std::cerr << "cannot write " << metrics_path << "\n";
-      return 1;
-    }
-    out << observer->metrics().snapshot().to_openmetrics();
-    std::cout << "wrote OpenMetrics exposition to " << metrics_path << "\n";
-  } else if (!metrics_path.empty()) {
-    obs::RunReport run_report("serve");
-    run_report.add_config("store", store_path);
-    run_report.add_config("seed", flags.get_int("seed"));
-    run_report.add_config("threads", static_cast<std::int64_t>(threads));
-    run_report.add_config("dist",
-                          std::string(serve::to_string(opts.workload.dist)));
-    run_report.add_config("theta", opts.workload.theta);
-    run_report.add_config("mix", opts.workload.mix.to_string());
-    run_report.add_result("total_ops",
-                          static_cast<std::int64_t>(report.total_ops));
-    run_report.add_result("ops_per_sec", report.ops_per_sec);
-    run_report.add_result("fingerprint", std::string(fp));
-    for (const serve::QueryTypeReport& tr : report.by_type) {
-      const std::string prefix = serve::to_string(tr.type);
-      run_report.add_result(prefix + "_ops",
-                            static_cast<std::int64_t>(tr.ops));
-      run_report.add_result(prefix + "_p50_us", tr.p50_us);
-      run_report.add_result(prefix + "_p99_us", tr.p99_us);
-      run_report.add_result(prefix + "_p999_us", tr.p999_us);
-    }
-    std::ofstream out(metrics_path);
-    if (!out) {
-      std::cerr << "cannot write " << metrics_path << "\n";
-      return 1;
-    }
-    run_report.write(out, *observer);
-    std::cout << "wrote serve report to " << metrics_path << "\n";
-  }
-  return 0;
+  return drive_epilogue(report, store_path);
 }
 
 // Command dispatch, index-aligned with cli::kCommands (the usage header's
@@ -864,6 +1131,25 @@ int main(int argc, char** argv) {
                  "WindowScan width in days; windows are placed uniformly "
                  "over the indexed range (serve)",
                  1, 1000000);
+  flags.add_string("listen", "",
+                   "host:port to serve the query engine on over TCP; port 0 "
+                   "picks an ephemeral port, printed on the 'listening on' "
+                   "line; SIGINT/SIGTERM shuts down gracefully (serve)");
+  flags.add_string("connect", "",
+                   "drive a remote serve server at host:port instead of an "
+                   "in-process engine; --threads sets the connection count "
+                   "(serve)");
+  flags.add_double("target-qps", 0.0,
+                   "open-loop aggregate request rate across all "
+                   "connections, latency measured from each op's intended "
+                   "send time so server stalls cannot hide from the "
+                   "percentiles; 0 = closed loop (serve --connect)",
+                   0.0, 1e9);
+  flags.add_double("refill", 0.0,
+                   "poll the DRS store's mtime every this-many seconds and "
+                   "atomically swap in a freshly built engine when it "
+                   "changes; 0 disables (serve --listen)",
+                   0.0, 86400.0);
 
   if (!flags.parse(argc - 1, argv + 1)) {
     std::cerr << flags.error() << "\n" << flags.usage();
