@@ -40,6 +40,9 @@ PipelineMetrics::PipelineMetrics(MetricsRegistry& r)
       run_store_measurements(r.gauge("run.store_measurements")),
       store_bytes_written(r.gauge("store.bytes_written")),
       store_bytes_read(r.gauge("store.bytes_read")),
+      store_read_MBps(r.gauge("store.read_MBps")),
+      store_blocks_mapped(r.counter("store.blocks_mapped")),
+      store_crc_lazy_checks(r.counter("store.crc_lazy_checks")),
       stream_plan_queue_depth(r.gauge("stream.plan_queue_depth")),
       stream_sweep_queue_depth(r.gauge("stream.sweep_queue_depth")),
       stream_retired_days(r.gauge("stream.retired_days")),

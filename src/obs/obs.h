@@ -129,6 +129,10 @@ struct PipelineMetrics {
   // scenario/driver.cpp — DRS dataset store I/O (generate/analyze split).
   Gauge& store_bytes_written;
   Gauge& store_bytes_read;
+  Gauge& store_read_MBps;           // throughput of the latest store scan
+  // store/reader.cpp — mapped-mode block accounting.
+  Counter& store_blocks_mapped;     // blocks indexed by mmap-backed readers
+  Counter& store_crc_lazy_checks;   // blocks CRC-verified lazily (once each)
   // scenario/driver.cpp — streaming day-epoch pipeline health.
   Gauge& stream_plan_queue_depth;   // SweepTasks waiting for the sweep stage
   Gauge& stream_sweep_queue_depth;  // swept days waiting for the fold/join

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/columnar.h"
 #include "core/join.h"
 #include "core/resilience.h"
 #include "openintel/storage.h"
@@ -141,8 +142,11 @@ std::uint64_t save_run(const std::string& path,
 
 /// Load a save_run store. Validates every block checksum and asserts the
 /// decoded datasets match the stored result counts; throws
-/// store::StoreError on any defect.
-StoredRun load_run(const std::string& path);
+/// store::StoreError on any defect. `use_mmap` selects the zero-copy
+/// mapped reader (the default; decoded datasets are copies either way,
+/// so nothing dangles when the mapping closes on return) or the
+/// buffered fallback (`analyze --no-mmap`).
+StoredRun load_run(const std::string& path, bool use_mmap = true);
 
 /// Re-run the join stage from a loaded store: the world is rebuilt from
 /// the stored provenance (deterministic in the seed) and the join reads
@@ -153,5 +157,51 @@ struct RejoinResult {
   core::JoinStats stats;
 };
 RejoinResult rejoin_from_store(const StoredRun& run);
+
+/// Field-exact comparison of a rejoin result against the stored events
+/// *columns* (core::frame_equals_events over a fresh scan) plus the
+/// stored join stats — the columnar form of the --rejoin bit-for-bit
+/// assertion; the stored rows are never materialized for the check.
+bool rejoin_matches_store(const std::string& path, bool use_mmap,
+                          const StoredRun& run, const RejoinResult& rejoin);
+
+// ---- columnar analyze pass (store/scan.h + core/columnar.h).
+//
+// `analyze_store` recomputes the headline §6 statistics straight off the
+// DRS column spans: the file is mapped (or buffered with
+// use_mmap=false), every block decodes exactly once into reusable arena
+// buffers or zero-copy spans, and the kernels fan out over row shards
+// with ordered reduction — no NssetAttackEvent row is ever built. The
+// kernel results are bit-identical to load_run + the row analyses.
+
+struct StoreAnalysis {
+  // Provenance echoed for the analyze header.
+  std::uint64_t world_seed = 0;
+  std::uint32_t domain_count = 0;
+  std::uint32_t provider_count = 0;
+  std::uint64_t workload_seed = 0;
+  double workload_scale = 0.0;
+  std::uint64_t sweep_seed = 0;
+  std::uint64_t feed_seed = 0;
+  unsigned threads = 0;  // generating run's worker count
+  // Stored result counts (the pipeline summary line).
+  std::uint64_t attacks = 0;
+  std::uint64_t feed_records = 0;
+  std::uint64_t events = 0;
+  std::uint64_t joined = 0;
+  std::uint64_t swept_measurements = 0;
+  // Scan statistics.
+  std::uint64_t file_bytes = 0;
+  bool mapped = false;
+  double read_MBps = 0.0;  // full-file columnar scan throughput
+  // Headline kernels (columnar; bit-identical to the row path).
+  core::ImpactSummary impact;
+  core::FailureSummary failures;
+  core::CorrelationSeries duration_series;
+  std::vector<core::GroupImpact> by_anycast;
+  std::vector<core::MonthlyJoinedRow> monthly;
+};
+
+StoreAnalysis analyze_store(const std::string& path, bool use_mmap = true);
 
 }  // namespace ddos::scenario

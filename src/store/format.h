@@ -46,7 +46,11 @@ inline constexpr std::uint32_t kMagic = 0x31535244u;  // "DRS1" little-endian
 //      so sorted-key order is day order and streamed epoch retirement can
 //      append sorted chunks. v1 stores would silently mis-join if read
 //      with the new layout, hence the bump.
-inline constexpr std::uint32_t kFormatVersion = 2;
+//   3  every block payload starts at an 8-byte-aligned file offset (the
+//      writer zero-pads between blocks) so a mapped reader can expose
+//      Fixed f64 columns as aligned spans directly over the mapping.
+//      Offsets moved, so v2 footers no longer describe v3 bytes.
+inline constexpr std::uint32_t kFormatVersion = 3;
 inline constexpr std::size_t kHeaderSize = 16;
 inline constexpr std::size_t kTrailerSize = 16;
 

@@ -1,9 +1,15 @@
 #include "store/reader.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <fstream>
 #include <sstream>
 
 #include "exec/parallel.h"
+#include "obs/obs.h"
 #include "store/checksum.h"
 
 namespace ddos::store {
@@ -16,42 +22,92 @@ namespace {
 
 }  // namespace
 
-Reader::Reader(const std::string& path) : path_(path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) fail(path, "cannot open");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  data_ = std::move(buf).str();
+Reader::Reader(const std::string& path, ReadMode mode) : path_(path) {
+  if (mode == ReadMode::Mapped) {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd >= 0) {
+      struct stat st {};
+      if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+        auto size = static_cast<std::size_t>(st.st_size);
+        void* m = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (m != MAP_FAILED) {
+          // The scan path touches every block front to back; tell the
+          // kernel so readahead stays aggressive.
+          ::posix_madvise(m, size, POSIX_MADV_WILLNEED);
+          map_ = m;
+          map_size_ = size;
+          data_ = std::string_view(static_cast<const char*>(m), size);
+        }
+      }
+      ::close(fd);
+    }
+    // Any failure above (no file, empty file, mmap refused — e.g. some
+    // network/overlay filesystems) falls through to the buffered path,
+    // which reports "cannot open" with the usual message if the file
+    // really is absent.
+  }
 
-  if (data_.size() < kHeaderSize + kTrailerSize)
+  if (map_ == nullptr) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) fail(path, "cannot open");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    buffer_ = std::move(buf).str();
+    data_ = buffer_;
+  }
+
+  try {
+    parse(data_);
+  } catch (...) {
+    if (map_ != nullptr) ::munmap(map_, map_size_);
+    map_ = nullptr;
+    throw;
+  }
+
+  crc_checked_ =
+      std::make_unique<std::atomic<std::uint8_t>[]>(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i)
+    crc_checked_[i].store(0, std::memory_order_relaxed);
+
+  if (map_ != nullptr) {
+    if (obs::Observer* o = obs::Observer::installed())
+      o->pipeline.store_blocks_mapped.inc(columns_.size());
+  }
+}
+
+Reader::~Reader() {
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+}
+
+void Reader::parse(std::string_view data) {
+  const std::string& path = path_;
+  if (data.size() < kHeaderSize + kTrailerSize)
     fail(path, "truncated: smaller than header + trailer");
 
   std::size_t pos = 0;
   std::uint32_t magic = 0, version = 0;
   std::uint64_t reserved = 0;
-  get_fixed32(data_, pos, magic);
-  get_fixed32(data_, pos, version);
-  get_fixed64(data_, pos, reserved);
+  get_fixed32(data, pos, magic);
+  get_fixed32(data, pos, version);
+  get_fixed64(data, pos, reserved);
   if (magic != kMagic) fail(path, "bad magic: not a DRS store");
   if (version != kFormatVersion)
     fail(path, "unsupported DRS version " + std::to_string(version) +
                    " (expected " + std::to_string(kFormatVersion) + ")");
 
-  std::size_t tpos = data_.size() - kTrailerSize;
+  std::size_t tpos = data.size() - kTrailerSize;
   std::uint64_t footer_size = 0;
   std::uint32_t footer_crc = 0, trailer_magic = 0;
-  get_fixed64(data_, tpos, footer_size);
-  get_fixed32(data_, tpos, footer_crc);
-  get_fixed32(data_, tpos, trailer_magic);
+  get_fixed64(data, tpos, footer_size);
+  get_fixed32(data, tpos, footer_crc);
+  get_fixed32(data, tpos, trailer_magic);
   if (trailer_magic != kMagic)
     fail(path, "bad trailer magic: truncated or corrupt file");
-  if (footer_size > data_.size() - kHeaderSize - kTrailerSize)
+  if (footer_size > data.size() - kHeaderSize - kTrailerSize)
     fail(path, "footer size exceeds file");
 
-  const std::size_t footer_begin =
-      data_.size() - kTrailerSize - footer_size;
-  const std::string_view footer =
-      std::string_view(data_).substr(footer_begin, footer_size);
+  const std::size_t footer_begin = data.size() - kTrailerSize - footer_size;
+  const std::string_view footer = data.substr(footer_begin, footer_size);
   if (crc32c(footer) != footer_crc) fail(path, "footer checksum mismatch");
 
   std::size_t fpos = 0;
@@ -137,13 +193,29 @@ std::uint64_t Reader::dataset_rows(std::string_view dataset) const {
 }
 
 std::string_view Reader::payload(const ColumnDesc& desc) const {
-  return std::string_view(data_).substr(desc.offset, desc.size);
+  return data_.substr(desc.offset, desc.size);
 }
 
 void Reader::check_crc(const ColumnDesc& desc) const {
+  // Descs handed out by this reader are elements of columns_, so the
+  // pointer difference is the block index into the lazy-check flags.
+  const auto idx = static_cast<std::size_t>(&desc - columns_.data());
+  if (idx >= columns_.size()) {  // foreign desc: verify, nothing to track
+    if (crc32c(payload(desc)) != desc.crc)
+      fail(path_, "checksum mismatch in block '" + desc.dataset + "." +
+                      desc.column + "' (corrupt store)");
+    return;
+  }
+  std::atomic<std::uint8_t>& flag = crc_checked_[idx];
+  if (flag.load(std::memory_order_acquire) != 0) return;
   if (crc32c(payload(desc)) != desc.crc)
     fail(path_, "checksum mismatch in block '" + desc.dataset + "." +
                     desc.column + "' (corrupt store)");
+  if (flag.exchange(1, std::memory_order_acq_rel) == 0) {
+    lazy_checks_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Observer* o = obs::Observer::installed())
+      o->pipeline.store_crc_lazy_checks.inc();
+  }
 }
 
 std::vector<std::uint64_t> Reader::read_u64(std::string_view dataset,

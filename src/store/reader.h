@@ -1,13 +1,25 @@
 // DRS reader — loads a store file, parses the footer index, and decodes
-// column blocks on demand. Every access validates the block's CRC32C
-// before decoding; validate_all() checks every block, fanning the
-// checksum work out across the exec worker pool. All failure modes
-// (bad magic, unsupported version, truncation, checksum mismatch,
-// missing columns) throw StoreError with a message naming the problem.
+// column blocks on demand. Two backing modes share one API:
+//
+//   Buffered  the whole file is slurped into an owned string (the
+//             original behaviour; works on any filesystem).
+//   Mapped    the file is mmap'd read-only and block payloads are views
+//             straight into the mapping — no copy of the block region.
+//             Falls back to Buffered when mmap is unavailable.
+//
+// In both modes each block's CRC32C is verified lazily on first touch
+// and the verification is recorded per block, so a block touched many
+// times (or scanned column-by-column) is checksummed exactly once.
+// validate_all() checks every block, fanning the checksum work out
+// across the exec worker pool. All failure modes (bad magic,
+// unsupported version, truncation, checksum mismatch, missing columns)
+// throw StoreError with a message naming the problem.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -17,11 +29,27 @@
 
 namespace ddos::store {
 
+enum class ReadMode : std::uint8_t {
+  Buffered = 0,  // copy the file into memory
+  Mapped = 1,    // mmap read-only; zero-copy block payloads
+};
+
 class Reader {
  public:
   /// Reads and verifies `path` (header magic/version, trailer, footer
   /// checksum, block-extent sanity). Throws StoreError on any defect.
-  explicit Reader(const std::string& path);
+  /// Block CRCs are NOT checked here — they verify lazily on first
+  /// touch so a mapped open stays O(footer).
+  explicit Reader(const std::string& path,
+                  ReadMode mode = ReadMode::Buffered);
+  ~Reader();
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  /// True when the file is backed by an mmap (mode Mapped and the map
+  /// succeeded); false after the buffered fallback.
+  bool mapped() const { return map_ != nullptr; }
 
   const std::vector<ColumnDesc>& columns() const { return columns_; }
   const std::vector<std::pair<std::string, std::string>>& meta() const {
@@ -52,27 +80,50 @@ class Reader {
   std::vector<std::string> read_strings(std::string_view dataset,
                                         std::string_view column) const;
 
+  /// CRC-checked view of a block's raw payload — bytes of the mapping
+  /// itself in Mapped mode, valid for the Reader's lifetime. The
+  /// columnar scan layer (store/scan.h) decodes straight from this.
+  std::string_view verified_payload(const ColumnDesc& desc) const {
+    check_crc(desc);
+    return payload(desc);
+  }
+
   /// Run `jobs` (independent column decodes) across the exec pool; each
   /// job must write only its own output slot. Dataset readers use this to
   /// fan block decoding out.
   static void parallel_decode(const std::vector<std::function<void()>>& jobs);
 
   /// Validate every block's CRC32C in parallel; throws on the first
-  /// mismatch naming the offending dataset/column.
+  /// mismatch naming the offending dataset/column. Blocks already
+  /// verified lazily are not re-hashed.
   void validate_all() const;
+
+  /// Blocks whose CRC has been verified so far (monotonic; at most one
+  /// count per block regardless of how often it is read).
+  std::uint64_t lazy_crc_checks() const {
+    return lazy_checks_.load(std::memory_order_relaxed);
+  }
 
   std::uint64_t file_size() const { return data_.size(); }
   const std::string& path() const { return path_; }
 
  private:
   std::string_view payload(const ColumnDesc& desc) const;
-  /// CRC-check `desc`'s payload; throws StoreError on mismatch.
+  /// CRC-check `desc`'s payload once; throws StoreError on mismatch.
   void check_crc(const ColumnDesc& desc) const;
+  void parse(std::string_view data);
 
   std::string path_;
-  std::string data_;
+  std::string buffer_;         // Buffered backing (empty when mapped)
+  void* map_ = nullptr;        // Mapped backing
+  std::size_t map_size_ = 0;
+  std::string_view data_;      // whichever backing is live
   std::vector<ColumnDesc> columns_;
   std::vector<std::pair<std::string, std::string>> meta_;
+  // One flag per column block: 1 once its CRC verified OK. Failed checks
+  // never set the flag, so a corrupt block throws on every touch.
+  mutable std::unique_ptr<std::atomic<std::uint8_t>[]> crc_checked_;
+  mutable std::atomic<std::uint64_t> lazy_checks_{0};
 };
 
 }  // namespace ddos::store

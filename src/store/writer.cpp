@@ -28,6 +28,14 @@ void Writer::append_block(std::string_view dataset, std::string_view column,
                           ColumnType type, Encoding encoding,
                           std::uint64_t rows, const std::string& payload) {
   if (finished_) throw StoreError("Writer: add after finish()");
+  // Format v3: zero-pad so every payload starts 8-byte aligned and a
+  // mapped reader can hand out Fixed f64 columns as aligned spans.
+  static constexpr char kPad[8] = {};
+  if (std::size_t rem = offset_ % 8; rem != 0) {
+    std::size_t pad = 8 - rem;
+    out_.write(kPad, static_cast<std::streamsize>(pad));
+    offset_ += pad;
+  }
   ColumnDesc desc;
   desc.dataset = dataset;
   desc.column = column;

@@ -355,6 +355,87 @@ TEST_F(NetServerTest, InstallEngineSwapsLiveUnderConcurrentLoad) {
   server.stop();
 }
 
+// Unmap safety across store-backed swaps: EngineHandle::load goes
+// through the mmap reader, and load_run copies every decoded dataset
+// into the StoredRun before the mapping closes — so answers must never
+// reference bytes of a store file that has since been swapped out (and
+// even deleted). Swapping repeatedly between two loaded stores while
+// clients hammer TopK (whose rows point into the engine's run) is the
+// dangling-read probe; the TSan job runs this binary to make any
+// lifetime violation loud.
+TEST_F(NetServerTest, StoreBackedSwapNeverDanglesIntoTheMapping) {
+  const std::string path_a = temp_path("net-swap-a.drs");
+  const std::string path_b = temp_path("net-swap-b.drs");
+  ASSERT_GT(scenario::save_run(path_a, *config_, 1, *result_), 0u);
+  scenario::LongitudinalConfig cfg_b = scenario::small_longitudinal_config(5);
+  const scenario::LongitudinalResult result_b =
+      scenario::run_longitudinal(cfg_b);
+  ASSERT_GT(scenario::save_run(path_b, cfg_b, 1, result_b), 0u);
+
+  ServerOptions options;
+  options.threads = 2;
+  Server server(EngineHandle::load(path_a, /*epoch=*/1), options);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  constexpr int kClients = 2;
+  constexpr std::uint64_t kSwaps = 8;
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        Client client;
+        client.connect("127.0.0.1", port);
+        std::uint32_t id = static_cast<std::uint32_t>(c) << 16;
+        while (!done.load()) {
+          serve::Op op;
+          op.type = serve::QueryType::TopK;
+          op.k = 8;
+          op.metric = 0;
+          client.queue_op(op, ++id);
+          client.flush();
+          const Answer& answer = client.recv();
+          if (answer.opcode != Opcode::TopKOk || answer.request_id != id ||
+              answer.rows == nullptr) {
+            failed = true;
+            return;
+          }
+          // Touch every byte of every row: a dangling reference into an
+          // unmapped store would fault (or trip TSan) right here.
+          for (const serve::TopEntry& row : *answer.rows) {
+            if (row.key == 0 && row.value != row.value) failed = true;
+          }
+        }
+      } catch (...) {
+        failed = true;
+      }
+    });
+  }
+
+  for (std::uint64_t swap = 0; swap < kSwaps; ++swap) {
+    const std::string& path = (swap % 2 == 0) ? path_b : path_a;
+    server.install_engine(EngineHandle::load(path, /*epoch=*/swap + 2));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (swap == kSwaps / 2) {
+      // Mid-hammer, delete both files: every engine already installed
+      // must be self-contained — nothing may still read the store paths.
+      std::filesystem::remove(path_a);
+      std::filesystem::remove(path_b);
+      break;
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  done = true;
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_GE(server.stats().engine_swaps, 1u);
+  server.stop();
+}
+
 // ---- malformed input over a raw socket -------------------------------
 
 int raw_connect(std::uint16_t port) {

@@ -1,0 +1,213 @@
+// The zero-copy mmap read path: Mapped and Buffered readers must be
+// byte-equal on every column type, the lazy per-block CRC must fail
+// loudly on FIRST TOUCH (not at open) and keep failing on every touch,
+// the ColumnArena must reuse its buffers across repeat scans, and v3's
+// 8-byte block alignment must hold so Fixed columns map as aligned
+// spans straight over the file.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scenario/driver.h"
+#include "store/format.h"
+#include "store/reader.h"
+#include "store/scan.h"
+#include "store/writer.h"
+
+namespace ddos::store {
+namespace {
+
+// Per-process temp names: gtest_discover_tests runs each case as its own
+// ctest entry, so concurrent ctest -j workers would otherwise race on
+// one file.
+std::string temp_path(const char* name) {
+  return (std::filesystem::path(testing::TempDir()) /
+          (std::to_string(::getpid()) + "-" + name))
+      .string();
+}
+
+void corrupt_byte(const std::string& path, std::uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f) << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.get(c);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(static_cast<char>(c ^ 0xFF));
+}
+
+// One store exercising every (type, encoding) pair the writer produces.
+std::string write_sample_store(const char* name) {
+  const std::string path = temp_path(name);
+  const std::vector<std::uint64_t> sorted = {3, 7, 7, 40, 1000, 1000000};
+  const std::vector<std::uint64_t> counts = {0, 1, 127, 128, 300000,
+                                             1ull << 40};
+  const std::vector<double> reals = {0.0, -1.5, 3.25, 1e308, -0.0, 42.0};
+  const std::vector<std::uint8_t> bytes = {0, 1, 2, 0, 255, 7};
+  const std::vector<std::string> names = {"transip", "", "ovh",
+                                          "a much longer org name",
+                                          "x",       "selfhosted"};
+  Writer writer(path);
+  writer.add_meta("purpose", "mmap-parity-test");
+  writer.add_u64("ds", "sorted", sorted, Encoding::DeltaVarint);
+  writer.add_u64("ds", "counts", counts, Encoding::Varint);
+  writer.add_u64("ds", "raw", counts, Encoding::Fixed);
+  writer.add_f64("ds", "reals", reals);
+  writer.add_u8("ds", "bytes", bytes);
+  writer.add_strings("ds", "names", names);
+  EXPECT_TRUE(writer.finish());
+  return path;
+}
+
+TEST(MmapReader, MappedMatchesBufferedOnEveryColumnType) {
+  const std::string path = write_sample_store("mmap_parity.drs");
+  const Reader mapped(path, ReadMode::Mapped);
+  const Reader buffered(path, ReadMode::Buffered);
+  EXPECT_TRUE(mapped.mapped());
+  EXPECT_FALSE(buffered.mapped());
+
+  EXPECT_EQ(mapped.read_u64("ds", "sorted"), buffered.read_u64("ds", "sorted"));
+  EXPECT_EQ(mapped.read_u64("ds", "counts"), buffered.read_u64("ds", "counts"));
+  EXPECT_EQ(mapped.read_u64("ds", "raw"), buffered.read_u64("ds", "raw"));
+  EXPECT_EQ(mapped.read_f64("ds", "reals"), buffered.read_f64("ds", "reals"));
+  EXPECT_EQ(mapped.read_u8("ds", "bytes"), buffered.read_u8("ds", "bytes"));
+  EXPECT_EQ(mapped.read_strings("ds", "names"),
+            buffered.read_strings("ds", "names"));
+  EXPECT_EQ(mapped.meta_value("purpose"), buffered.meta_value("purpose"));
+
+  // The scan layer agrees with the row decoders in both modes.
+  ColumnArena arena_m;
+  ColumnArena arena_b;
+  for (const char* col : {"sorted", "counts", "raw"}) {
+    const auto span_m = scan_u64(mapped, mapped.column("ds", col), arena_m);
+    const auto span_b = scan_u64(buffered, buffered.column("ds", col),
+                                 arena_b);
+    const auto rows = mapped.read_u64("ds", col);
+    ASSERT_EQ(span_m.size(), rows.size()) << col;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(span_m[i], rows[i]) << col << "[" << i << "]";
+      EXPECT_EQ(span_b[i], rows[i]) << col << "[" << i << "]";
+    }
+  }
+  const auto strings_m = scan_strings(mapped, mapped.column("ds", "names"),
+                                      arena_m);
+  const auto expected = mapped.read_strings("ds", "names");
+  ASSERT_EQ(strings_m.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(strings_m[i], expected[i]);
+  }
+}
+
+TEST(MmapReader, V3BlocksAreEightByteAlignedAndFixedSpansZeroCopy) {
+  const std::string path = write_sample_store("mmap_aligned.drs");
+  const Reader reader(path, ReadMode::Mapped);
+  ASSERT_TRUE(reader.mapped());
+  for (const auto& desc : reader.columns()) {
+    EXPECT_EQ(desc.offset % 8, 0u) << desc.dataset << "." << desc.column;
+  }
+  // Fixed-width spans alias the mapping itself: same bytes, no arena copy.
+  ColumnArena arena;
+  const std::size_t slots_before = arena.slots();
+  const auto reals = scan_f64(reader, reader.column("ds", "reals"), arena);
+  const auto raw = scan_u64(reader, reader.column("ds", "raw"), arena);
+  EXPECT_EQ(arena.slots(), slots_before);  // zero-copy: no buffer created
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(reals.data()) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(raw.data()) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<const char*>(reals.data()),
+            reader.verified_payload(reader.column("ds", "reals")).data());
+}
+
+TEST(MmapReader, LazyCrcFailsOnFirstTouchNotAtOpen) {
+  for (const ReadMode mode : {ReadMode::Mapped, ReadMode::Buffered}) {
+    const std::string path = write_sample_store("mmap_corrupt.drs");
+    // The first block's payload starts right after the 16-byte header.
+    corrupt_byte(path, kHeaderSize);
+    // Open parses only the footer — the bit flip goes unnoticed here.
+    const Reader reader(path, mode);
+    EXPECT_EQ(reader.lazy_crc_checks(), 0u);
+    // Healthy columns stay readable around the corrupt one.
+    EXPECT_NO_THROW(reader.read_u64("ds", "counts"));
+    EXPECT_EQ(reader.lazy_crc_checks(), 1u);
+    // First touch of the corrupt block throws...
+    EXPECT_THROW(reader.read_u64("ds", "sorted"), StoreError);
+    // ...and a failed check is never recorded as verified, so every
+    // subsequent touch fails just as loudly.
+    EXPECT_THROW(reader.read_u64("ds", "sorted"), StoreError);
+    EXPECT_EQ(reader.lazy_crc_checks(), 1u);
+    // A repeat read of a verified block does not re-hash it.
+    EXPECT_NO_THROW(reader.read_u64("ds", "counts"));
+    EXPECT_EQ(reader.lazy_crc_checks(), 1u);
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(MmapReader, TruncatedFileFailsAtOpenInBothModes) {
+  for (const ReadMode mode : {ReadMode::Mapped, ReadMode::Buffered}) {
+    const std::string path = write_sample_store("mmap_truncated.drs");
+    std::filesystem::resize_file(path,
+                                 std::filesystem::file_size(path) - 8);
+    EXPECT_THROW(Reader(path, mode), StoreError);
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(MmapReader, ArenaReusesBuffersAcrossRepeatScans) {
+  const std::string path = write_sample_store("mmap_arena.drs");
+  const Reader reader(path, ReadMode::Mapped);
+  ColumnArena arena;
+  const std::uint64_t payload1 = scan_all(reader, arena);
+  const std::size_t slots = arena.slots();
+  EXPECT_GT(slots, 0u);
+  const std::uint64_t payload2 = scan_all(reader, arena);
+  EXPECT_EQ(payload1, payload2);
+  EXPECT_EQ(arena.slots(), slots);  // repeat scans allocate no new slots
+  // Lazy CRC tracking means the repeat scan re-hashed nothing.
+  EXPECT_EQ(reader.lazy_crc_checks(), reader.columns().size());
+}
+
+TEST(MmapReader, UnrolledDecoderRejectsTrailingBytes) {
+  const std::string path = temp_path("mmap_trailing.drs");
+  std::string payload;
+  put_varint(payload, 5);
+  put_varint(payload, 6);
+  payload.push_back('\x01');  // one varint too many for rows=2
+  Writer writer(path);
+  writer.add_encoded("ds", "bad", ColumnType::U64, Encoding::Varint, 2,
+                     payload);
+  ASSERT_TRUE(writer.finish());
+  const Reader reader(path, ReadMode::Mapped);
+  ColumnArena arena;
+  EXPECT_THROW(scan_u64(reader, reader.column("ds", "bad"), arena),
+               StoreError);
+}
+
+// End-to-end: a saved pipeline run loads identically through both
+// backings, and the corrupt-block failure surfaces through load_run.
+TEST(MmapReader, LoadRunIdenticalInBothModes) {
+  const std::string path = temp_path("mmap_run.drs");
+  const auto config = scenario::small_longitudinal_config(21);
+  const auto result = scenario::run_longitudinal(config);
+  scenario::save_run(path, config, 1, result);
+
+  const scenario::StoredRun via_mmap = scenario::load_run(path, true);
+  const scenario::StoredRun via_buffer = scenario::load_run(path, false);
+  EXPECT_EQ(via_mmap.joined, via_buffer.joined);
+  EXPECT_EQ(via_mmap.joined, result.joined);
+  EXPECT_EQ(via_mmap.feed_records, via_buffer.feed_records);
+  EXPECT_EQ(via_mmap.swept_measurements, via_buffer.swept_measurements);
+  EXPECT_EQ(via_mmap.threads, via_buffer.threads);
+
+  corrupt_byte(path, kHeaderSize + 3);
+  EXPECT_THROW(scenario::load_run(path, true), StoreError);
+  EXPECT_THROW(scenario::load_run(path, false), StoreError);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace ddos::store

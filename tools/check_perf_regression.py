@@ -5,11 +5,12 @@ Usage:
     check_perf_regression.py <bench_perf_pipeline.json> <baseline_perf.json>
 
 The baseline file (bench/baseline_perf.json) declares a set of guarded
-higher-is-better metrics (currently the sweep-ingest throughput
-``ingest_measurements_per_sec``) plus a relative tolerance. A fresh bench
+higher-is-better metrics (the sweep-ingest throughput
+``ingest_measurements_per_sec`` and the zero-copy columnar scan
+throughput ``store_read_MBps``) plus a relative tolerance. A fresh bench
 run must stay within ``tolerance`` of each guarded baseline value; metrics
 listed under ``informational`` are printed for the log but never fail the
-job, since lower-level numbers (per-probe latency, store MB/s) are too
+job, since lower-level numbers (per-probe latency, row-load MB/s) are too
 runner-sensitive to gate on.
 
 ``guarded_max`` entries are lower-is-better hard ceilings, checked without
@@ -24,7 +25,9 @@ checked without tolerance — the baseline value IS the minimum. The serve
 layer's ``serve_lookups_per_sec`` lives here (the query engine must
 sustain at least 1M point lookups/sec across the drive's thread
 complement — an absolute acceptance criterion, not a trajectory, hence
-no tolerance band).
+no tolerance band), as does ``analyze_vs_run_speedup`` (one columnar
+analyze pass over a saved store must beat re-simulating the run by at
+least 5x — the acceptance gate for the zero-copy mmap read path).
 
 A guarded key that is MISSING from the candidate JSON is a hard failure,
 not a silent skip: a renamed or dropped metric would otherwise disable

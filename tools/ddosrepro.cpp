@@ -164,9 +164,14 @@ int cmd_world(util::FlagParser& flags) {
   return 0;
 }
 
-void print_analysis(const std::vector<core::NssetAttackEvent>& events) {
-  const auto impacts = core::impact_summary(events);
-  const auto failures = core::failure_summary(events);
+// Shared value printer: `run` feeds it from the row kernels, `analyze
+// --store` from the columnar kernels. One formatting path is what makes
+// the two outputs byte-identical whenever the values agree (CI diffs
+// them).
+void print_analysis_values(const core::ImpactSummary& impacts,
+                           const core::FailureSummary& failures,
+                           const core::CorrelationSeries& duration,
+                           const std::vector<core::GroupImpact>& by_anycast) {
   util::TextTable table({"analysis", "value"});
   table.add_row({"events", util::with_commas(impacts.events)});
   table.add_row({">=10x impact share",
@@ -181,18 +186,24 @@ void print_analysis(const std::vector<core::NssetAttackEvent>& events) {
       {"timeout share of failures",
        util::format_fixed(100 * failures.timeout_share_of_failures(), 1) +
            "%"});
-  const auto duration = core::duration_impact_series(events);
   table.add_row({"Pearson(duration, impact)",
                  util::format_fixed(duration.pearson, 3)});
   std::cout << table.to_string();
 
   std::cout << "impact by resilience class (median/max/n):\n";
-  for (const auto& g : core::impact_by_anycast(events)) {
+  for (const auto& g : by_anycast) {
     std::cout << "  " << g.group << ": "
               << util::format_fixed(g.median_impact, 2) << " / "
               << util::format_fixed(g.max_impact, 0) << " / " << g.events
               << "\n";
   }
+}
+
+void print_analysis(const std::vector<core::NssetAttackEvent>& events) {
+  print_analysis_values(core::impact_summary(events),
+                        core::failure_summary(events),
+                        core::duration_impact_series(events),
+                        core::impact_by_anycast(events));
 }
 
 // The one-line pipeline summary printed by both `run` and
@@ -436,9 +447,14 @@ int cmd_generate(util::FlagParser& flags) {
 
 int cmd_analyze_store(util::FlagParser& flags, const std::string& path) {
   exec::set_global_threads(static_cast<unsigned>(flags.get_uint("threads")));
-  scenario::StoredRun run;
+  // Column-native analysis: the store is mapped read-only (--no-mmap
+  // falls back to the buffered reader) and every headline statistic is
+  // recomputed from column spans — no row materialization. Output is
+  // byte-identical to the row path (`run`); CI diffs the two.
+  const bool use_mmap = !flags.get_bool("no-mmap");
+  scenario::StoreAnalysis analysis;
   try {
-    run = scenario::load_run(path);
+    analysis = scenario::analyze_store(path, use_mmap);
   } catch (const store::StoreError& e) {
     std::cerr << "store error: " << e.what() << "\n";
     return 1;
@@ -451,35 +467,42 @@ int cmd_analyze_store(util::FlagParser& flags, const std::string& path) {
     std::cout << " (" << util::format_count(static_cast<double>(bytes))
               << "B)";
   }
-  std::cout << "\nprovenance: world seed " << run.config.world.seed << ", "
-            << run.config.world.domain_count << " domains, "
-            << run.config.world.provider_count << " providers; workload seed "
-            << run.config.workload.seed << ", scale "
-            << run.config.workload.scale << "; sweep/feed seeds "
-            << run.config.sweep_seed << "/" << run.config.feed_seed
-            << "; generated with " << run.threads << " threads\n";
+  std::cout << "\nprovenance: world seed " << analysis.world_seed << ", "
+            << analysis.domain_count << " domains, "
+            << analysis.provider_count << " providers; workload seed "
+            << analysis.workload_seed << ", scale "
+            << analysis.workload_scale << "; sweep/feed seeds "
+            << analysis.sweep_seed << "/" << analysis.feed_seed
+            << "; generated with " << analysis.threads << " threads\n";
 
   if (flags.get_bool("rejoin")) {
-    const auto rejoin = scenario::rejoin_from_store(run);
-    const bool match =
-        rejoin.joined == run.joined && rejoin.stats == run.join_stats;
-    std::cout << "rejoin: " << rejoin.joined.size()
-              << " joined events recomputed from stored aggregates — "
-              << (match ? "bit-for-bit match with stored events"
-                        : "MISMATCH with stored events")
-              << "\n";
-    if (!match) {
-      std::cerr << "rejoin mismatch: store provenance does not reproduce "
-                   "the generating run\n";
+    try {
+      const scenario::StoredRun run = scenario::load_run(path, use_mmap);
+      const auto rejoin = scenario::rejoin_from_store(run);
+      const bool match =
+          scenario::rejoin_matches_store(path, use_mmap, run, rejoin);
+      std::cout << "rejoin: " << rejoin.joined.size()
+                << " joined events recomputed from stored aggregates — "
+                << (match ? "bit-for-bit match with stored events"
+                          : "MISMATCH with stored events")
+                << "\n";
+      if (!match) {
+        std::cerr << "rejoin mismatch: store provenance does not reproduce "
+                     "the generating run\n";
+        return 1;
+      }
+    } catch (const store::StoreError& e) {
+      std::cerr << "store error: " << e.what() << "\n";
       return 1;
     }
   }
 
   std::cout << "\n";
-  print_pipeline_line(run.attacks, run.feed_records,
-                      run.events.size(), run.joined.size(),
-                      run.swept_measurements);
-  print_analysis(run.joined);
+  print_pipeline_line(analysis.attacks, analysis.feed_records,
+                      analysis.events, analysis.joined,
+                      analysis.swept_measurements);
+  print_analysis_values(analysis.impact, analysis.failures,
+                        analysis.duration_series, analysis.by_anycast);
   return 0;
 }
 
@@ -1079,6 +1102,10 @@ int main(int argc, char** argv) {
   flags.add_bool("rejoin",
                  "re-run the join from the stored aggregates and assert a "
                  "bit-for-bit match (analyze --store)");
+  flags.add_bool("no-mmap",
+                 "read the store through the buffered reader instead of "
+                 "the zero-copy mmap path; output is byte-identical "
+                 "(analyze --store)");
   flags.add_bool("audit", "run the structural delegation audit (world)");
   flags.add_string("metrics-out", "",
                    "run-report JSON output path: config, stage timings, "
