@@ -36,6 +36,7 @@
 #include "openintel/sweeper.h"
 #include "scenario/driver.h"
 #include "serve/driver.h"
+#include "store/merge.h"
 #include "store/scan.h"
 #include "serve/query_engine.h"
 #include "telescope/feed.h"
@@ -418,6 +419,54 @@ void write_pipeline_json(const char* path, const PeakRss& peaks) {
   const std::uint64_t store_read_ns = wall_ns(scan_start, scan_end);
   const std::uint64_t store_analyze_ns = wall_ns(scan_end, analyze_end);
 
+  // Plan/execute/compact at the same world size: run the 3-way shard
+  // partition (sequentially — the slowest shard's wall is what a
+  // 3-process run would cost) and merge the shard stores.
+  //   * merge_MBps: compaction throughput (merged bytes out / merge
+  //     wall). Guarded floor in baseline_perf.json — the merge is pure
+  //     decode + re-encode and must not collapse.
+  //   * shard_speedup: whole-run wall over the slowest shard's wall —
+  //     the wall-clock win of running the 3 shards as processes.
+  //     Informational: each shard still pays the full world + telescope
+  //     ingest, so this approaches 3x only as the sweep dominates.
+  std::uint64_t slowest_shard_ns = 0;
+  std::uint64_t merge_ns = 0;
+  double merge_MBps = 0.0;
+  double shard_speedup = 0.0;
+  {
+    const std::vector<std::string> shard_paths = {
+        "bench_perf_shard0.drs", "bench_perf_shard1.drs",
+        "bench_perf_shard2.drs"};
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const scenario::ShardRunResult shard = scenario::run_shard(
+          cfg, scenario::ShardSpec{i, 3}, threads, shard_paths[i]);
+      const auto t1 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(shard.joined_rows);
+      slowest_shard_ns = std::max(slowest_shard_ns, wall_ns(t0, t1));
+    }
+    const char* merged_path = "bench_perf_merged.drs";
+    const auto t0 = std::chrono::steady_clock::now();
+    const store::MergeStats merge_stats =
+        store::merge_stores(merged_path, shard_paths);
+    const auto t1 = std::chrono::steady_clock::now();
+    merge_ns = wall_ns(t0, t1);
+    if (merge_stats.bytes_written != store_bytes) {
+      std::cerr << "SHARD MERGE VIOLATION: merged store size differs from "
+                   "save_run's\n";
+    }
+    if (merge_ns > 0) {
+      merge_MBps = static_cast<double>(merge_stats.bytes_written) * 1e3 /
+                   static_cast<double>(merge_ns);
+    }
+    if (slowest_shard_ns > 0) {
+      shard_speedup = static_cast<double>(total_tn) /
+                      static_cast<double>(slowest_shard_ns);
+    }
+    for (const std::string& p : shard_paths) std::filesystem::remove(p);
+    std::filesystem::remove(merged_path);
+  }
+
   // Sweep-ingest throughput at longitudinal scale. The stream is keyed
   // like sweeper output (per-day batches, a handful of domains per nsset,
   // windows advancing through the day) but sized so the window table far
@@ -609,6 +658,11 @@ void write_pipeline_json(const char* path, const PeakRss& peaks) {
                         ? static_cast<double>(total_tn) /
                               static_cast<double>(store_analyze_ns)
                         : 0.0);
+  report.add_result("shard_slowest_ns",
+                    static_cast<std::int64_t>(slowest_shard_ns));
+  report.add_result("merge_ns", static_cast<std::int64_t>(merge_ns));
+  report.add_result("merge_MBps", merge_MBps);
+  report.add_result("shard_speedup", shard_speedup);
 
   std::ofstream out(path);
   if (!out) {
@@ -626,7 +680,9 @@ void write_pipeline_json(const char* path, const PeakRss& peaks) {
                     : 0.0)
             << "x; store write " << mbps(store_write_ns)
             << " MB/s, columnar scan " << mbps(store_read_ns)
-            << " MB/s, row load " << mbps(store_load_ns) << " MB/s; ingest "
+            << " MB/s, row load " << mbps(store_load_ns)
+            << " MB/s, shard merge " << merge_MBps << " MB/s (3-shard speedup "
+            << shard_speedup << "x); ingest "
             << ingest_per_sec / 1e6 << " M meas/s; join probe "
             << join_probe_ns << " ns; serve "
             << serve_lookups_per_sec / 1e6 << " M lookups/s at "

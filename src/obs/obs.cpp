@@ -43,6 +43,11 @@ PipelineMetrics::PipelineMetrics(MetricsRegistry& r)
       store_read_MBps(r.gauge("store.read_MBps")),
       store_blocks_mapped(r.counter("store.blocks_mapped")),
       store_crc_lazy_checks(r.counter("store.crc_lazy_checks")),
+      merge_shards(r.gauge("merge.shards")),
+      merge_rows(r.counter("merge.rows")),
+      merge_bytes_read(r.gauge("merge.bytes_read")),
+      merge_bytes_written(r.gauge("merge.bytes_written")),
+      merge_MBps(r.gauge("merge.MBps")),
       stream_plan_queue_depth(r.gauge("stream.plan_queue_depth")),
       stream_sweep_queue_depth(r.gauge("stream.sweep_queue_depth")),
       stream_retired_days(r.gauge("stream.retired_days")),

@@ -133,6 +133,12 @@ struct PipelineMetrics {
   // store/reader.cpp — mapped-mode block accounting.
   Counter& store_blocks_mapped;     // blocks indexed by mmap-backed readers
   Counter& store_crc_lazy_checks;   // blocks CRC-verified lazily (once each)
+  // store/merge.cpp — shard-store compaction (ddosrepro merge).
+  Gauge& merge_shards;              // shard stores in the latest merge
+  Counter& merge_rows;              // column values k-way appended
+  Gauge& merge_bytes_read;          // summed shard file sizes
+  Gauge& merge_bytes_written;       // merged file size
+  Gauge& merge_MBps;                // merged bytes / merge wall time
   // scenario/driver.cpp — streaming day-epoch pipeline health.
   Gauge& stream_plan_queue_depth;   // SweepTasks waiting for the sweep stage
   Gauge& stream_sweep_queue_depth;  // swept days waiting for the fold/join

@@ -88,12 +88,25 @@ void MeasurementStore::finalize_day(
 MeasurementStore::RetiredState MeasurementStore::retire_days_below(
     netsim::DayIndex day) {
   RetiredState out;
-  // Time-major keys make "every key of a day below `day`" a simple key
+  // Clamp to the biased key domain first: callers may pass sentinel day
+  // cuts (the shard driver's outer shards retire below an int64 min/max
+  // bound), which must mean "retire nothing" / "retire everything" — not
+  // whatever the u32 bias cast happens to wrap them to. The window keys
+  // have the narrower domain (day * windows-per-day must fit the 32-bit
+  // biased field), so both limits clamp to it.
+  constexpr netsim::DayIndex kMinDay = -kDayBias;
+  constexpr netsim::DayIndex kMaxDay =
+      (netsim::DayIndex{1} << 32) / netsim::kWindowsPerDay - kDayBias;
+  const netsim::DayIndex bound = std::clamp(day, kMinDay, kMaxDay);
+  // Time-major keys make "every key of a day below `bound`" a simple key
   // comparison: the nsset occupies the low 32 bits, so the smallest key of
-  // day `day` (nsset 0) bounds all earlier days from above.
-  const std::uint64_t daily_limit = day_key(dns::NssetId{0}, day);
+  // day `bound` (nsset 0) bounds all earlier days from above.
+  const std::uint64_t daily_limit =
+      bound == kMaxDay ? ~std::uint64_t{0} : day_key(dns::NssetId{0}, bound);
   const std::uint64_t window_limit =
-      window_key(dns::NssetId{0}, day * netsim::kWindowsPerDay);
+      bound == kMaxDay
+          ? ~std::uint64_t{0}
+          : window_key(dns::NssetId{0}, bound * netsim::kWindowsPerDay);
 
   daily_.for_each([&](std::uint64_t key, const Aggregate& agg) {
     if (key < daily_limit) out.daily.emplace_back(key, agg);

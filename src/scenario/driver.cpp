@@ -17,6 +17,7 @@
 #include "exec/pool.h"
 #include "exec/stage.h"
 #include "obs/obs.h"
+#include "scenario/plan.h"
 #include "store/dataset.h"
 #include "store/epoch.h"
 #include "store/reader.h"
@@ -63,94 +64,6 @@ void run_world_and_workload(const LongitudinalConfig& config,
     span.set_items(result.workload.schedule.size());
   }
 }
-
-// Sweep/retention sets derived from the inferred events (the sparse sweep
-// of the header comment). The retention key sets use their own id-major
-// layout — (id << 32) | time — independent of the store's time-major map
-// keys; they are membership sets, never sorted or range-scanned.
-struct SweepPlan {
-  util::FlatSet<std::uint64_t> daily_keys;    // (nsset, day)
-  util::FlatSet<std::uint64_t> window_keys;   // (nsset, window)
-  util::FlatSet<std::uint64_t> ns_seen_keys;  // (ip, day)
-  std::map<netsim::DayIndex, util::FlatSet<dns::DomainId>> days;
-  std::uint64_t domains_planned = 0;
-};
-
-SweepPlan derive_sweep_plan(const World& world,
-                            const std::vector<telescope::RSDoSEvent>& events,
-                            obs::Tracer* tracer, obs::Observer* observer) {
-  obs::ScopedSpan plan_span(tracer, "sweep.plan");
-  SweepPlan plan;
-
-  const auto daily_key = [](dns::NssetId nsset, netsim::DayIndex day) {
-    return (static_cast<std::uint64_t>(nsset) << 32) |
-           static_cast<std::uint32_t>(day);
-  };
-  const auto window_key = [](dns::NssetId nsset, netsim::WindowIndex w) {
-    return (static_cast<std::uint64_t>(nsset) << 32) |
-           static_cast<std::uint32_t>(w);
-  };
-  const auto ns_key = [](netsim::IPv4Addr ip, netsim::DayIndex day) {
-    return (static_cast<std::uint64_t>(ip.value()) << 32) |
-           static_cast<std::uint32_t>(day);
-  };
-
-  for (const auto& ev : events) {
-    if (!world.registry.is_ns_ip(ev.victim)) continue;
-    const netsim::DayIndex first_day = ev.start_time().day();
-    const netsim::DayIndex last_day = (ev.end_time() - 1).day();
-    plan.ns_seen_keys.insert(ns_key(ev.victim, first_day - 1));
-    // Also retain the attack day's own sighting so the same-day-join
-    // ablation measures the method, not the retention policy.
-    plan.ns_seen_keys.insert(ns_key(ev.victim, first_day));
-    for (const dns::NssetId nsset :
-         world.registry.nssets_containing(ev.victim)) {
-      plan.daily_keys.insert(daily_key(nsset, first_day - 1));
-      for (netsim::WindowIndex w = ev.start_window; w <= ev.end_window; ++w) {
-        plan.window_keys.insert(window_key(nsset, w));
-      }
-      const auto domains = world.registry.domains_of_nsset(nsset);
-      for (netsim::DayIndex d = first_day - 1; d <= last_day; ++d) {
-        auto& day_set = plan.days[d];
-        for (const dns::DomainId dom : domains) day_set.insert(dom);
-      }
-    }
-  }
-
-  for (const auto& [day, domains] : plan.days) {
-    plan.domains_planned += domains.size();
-  }
-  plan_span.set_items(plan.domains_planned);
-  plan_span.arg("days", static_cast<std::int64_t>(plan.days.size()));
-  if (observer) {
-    observer->pipeline.run_domains_planned.set(
-        static_cast<double>(plan.domains_planned));
-  }
-  return plan;
-}
-
-// Key-set-backed retention, resolved at compile time in the batched fold
-// loop (no std::function call per measurement — see
-// MeasurementStore::add_batch).
-struct PlanRetention {
-  const util::FlatSet<std::uint64_t>& daily_keys;
-  const util::FlatSet<std::uint64_t>& window_keys;
-  const util::FlatSet<std::uint64_t>& ns_seen_keys;
-
-  bool daily(dns::NssetId nsset, netsim::DayIndex day) const {
-    return daily_keys.contains((static_cast<std::uint64_t>(nsset) << 32) |
-                               static_cast<std::uint32_t>(day));
-  }
-  bool window(dns::NssetId nsset, netsim::WindowIndex w) const {
-    return window_keys.contains((static_cast<std::uint64_t>(nsset) << 32) |
-                                static_cast<std::uint32_t>(w));
-  }
-  bool ns_seen(netsim::IPv4Addr ip, netsim::DayIndex day) const {
-    return ns_seen_keys.contains(
-        (static_cast<std::uint64_t>(ip.value()) << 32) |
-        static_cast<std::uint32_t>(day));
-  }
-};
 
 }  // namespace
 
@@ -403,6 +316,196 @@ std::uint64_t save_run(const std::string& path,
     observer->pipeline.store_bytes_written.set(static_cast<double>(bytes));
   }
   return bytes;
+}
+
+// ---- sharded generation (plan/execute; compaction is store::merge_stores).
+
+ShardRunResult run_shard(const LongitudinalConfig& config,
+                         const ShardSpec& spec, unsigned threads,
+                         const std::string& store_path) {
+  if (spec.count == 0 || spec.index >= spec.count) {
+    throw std::invalid_argument(
+        "run_shard: need shard index < count, count >= 1");
+  }
+  obs::Observer* observer = obs::Observer::installed();
+  obs::Tracer* tracer = observer ? &observer->tracer() : nullptr;
+  obs::ScopedSpan total(tracer, "run_shard");
+  total.arg("shard", static_cast<std::int64_t>(spec.index));
+  total.arg("count", static_cast<std::int64_t>(spec.count));
+
+  LongitudinalResult result;
+  run_world_and_workload(config, result, tracer);
+  {
+    obs::ScopedSpan span(tracer, "telescope.infer");
+    result.feed = telescope::RSDoSFeed(config.inference, config.backscatter);
+    result.feed.ingest(result.workload.schedule, result.darknet,
+                       config.feed_seed);
+    result.feed_records = result.feed.records().size();
+    result.events = result.feed.events();
+    span.set_items(result.events.size());
+  }
+  const World& world = *result.world;
+
+  // The GLOBAL plan: every shard derives the identical retention sets,
+  // day-domain sets and day cuts from the identical event list (world,
+  // workload, telescope and sweep are pure functions of their seeds, so
+  // no seed depends on process layout). A day swept here is therefore
+  // bit-identical to the same day swept by the whole-world run, and all
+  // shards agree on the partition without coordinating.
+  const SweepPlan plan =
+      derive_sweep_plan(world, result.events, tracer, observer);
+  const PlanRetention retention{plan.daily_keys, plan.window_keys,
+                                plan.ns_seen_keys};
+  const ShardBounds bounds = shard_bounds(plan, spec);
+
+  // Owned events (canonical stitch order preserved) and the sweep halo:
+  // an event owned here reads daily/ns_seen state at first_day-1 and its
+  // attack windows, all on days <= its final (owning) day — so sweeping
+  // [min over owned of first_day-1, day_hi) with the global retention
+  // covers every read this shard's joins perform.
+  std::vector<std::uint32_t> owned;
+  netsim::DayIndex halo_lo = bounds.day_lo;
+  for (std::uint32_t idx = 0;
+       idx < static_cast<std::uint32_t>(result.events.size()); ++idx) {
+    const auto& ev = result.events[idx];
+    if (!bounds.owns_event(ev)) continue;
+    owned.push_back(idx);
+    halo_lo = std::min(halo_lo, ev.start_time().day() - 1);
+  }
+
+  // ---- Sparse sweep over the shard's day range (owned days + halo).
+  {
+    obs::ScopedSpan sweep_span(tracer, "sweep");
+    openintel::SweeperParams sp;
+    sp.resolver = config.resolver;
+    sp.model = config.model;
+    sp.seed = config.sweep_seed;
+    const openintel::Sweeper sweeper(world.registry, result.workload.schedule,
+                                     sp);
+    std::uint64_t days_total = 0;
+    for (const auto& [day, domains] : plan.days) {
+      if (day >= halo_lo && day < bounds.day_hi) ++days_total;
+    }
+    std::uint64_t days_done = 0;
+    std::vector<dns::DomainId> day_domains;
+    for (const auto& [day, domains] : plan.days) {
+      if (day < halo_lo || day >= bounds.day_hi) continue;
+      // Halo days below day_lo serve this shard's joins only; their
+      // folded state is retired before the store is written and their
+      // measurements belong to the preceding shard's count.
+      const bool owned_day = bounds.owns_day(day);
+      obs::ScopedSpan day_span(tracer, "sweep.day");
+      day_span.arg("day", static_cast<std::int64_t>(day));
+      day_span.set_items(domains.size());
+      day_domains = domains.sorted_keys();
+      sweeper.sweep_domains_batched(
+          day, day_domains, exec::global_pool(),
+          [&result, &retention,
+           owned_day](std::span<const openintel::Measurement> batch) {
+            result.store.add_batch(batch, retention);
+            if (owned_day) result.swept_measurements += batch.size();
+          });
+      ++days_done;
+      if (observer) {
+        observer->pipeline.run_days_swept.set(static_cast<double>(days_done));
+        obs::ProgressEvent progress;
+        progress.stage = "sweep";
+        progress.day = day;
+        progress.days_done = days_done;
+        progress.days_total = days_total;
+        progress.measurements = result.swept_measurements;
+        progress.events = result.events.size();
+        const double elapsed_s = static_cast<double>(total.elapsed_ns()) / 1e9;
+        progress.sweep_rate_per_s =
+            elapsed_s > 0.0
+                ? static_cast<double>(result.swept_measurements) / elapsed_s
+                : 0.0;
+        observer->emit_progress(progress, days_done == days_total);
+      }
+    }
+    sweep_span.set_items(result.swept_measurements);
+  }
+  if (observer) {
+    observer->pipeline.run_store_measurements.set(
+        static_cast<double>(result.swept_measurements));
+  }
+
+  // ---- Join the owned events, in canonical stitch order, pre-merge.
+  // The concurrent-event merge is deferred to the compaction stage (it is
+  // a global sort over all shards' rows); src_event records each output
+  // row's canonical telescope-event index so the merger can interleave
+  // the shards back into exactly the single-process pre-merge vector.
+  core::JoinStats stats;
+  std::vector<std::uint64_t> src_event;
+  {
+    obs::ScopedSpan span(tracer, "join");
+    const core::ResilienceClassifier classifier(world.registry, world.census,
+                                                world.routes, world.orgs);
+    const core::JoinPipeline pipeline(world.registry, result.store, classifier,
+                                      config.join);
+    stats.total_events = owned.size();
+    core::JoinPipeline::BaselineCache baselines;
+    for (const std::uint32_t idx : owned) {
+      const std::size_t before = result.joined.size();
+      pipeline.join_event(result.events[idx], result.joined, stats,
+                          &baselines);
+      for (std::size_t i = before; i < result.joined.size(); ++i) {
+        src_event.push_back(idx);
+      }
+    }
+    result.join_stats = stats;
+    span.set_items(result.joined.size());
+  }
+
+  // Keep only owned-day state: the halo existed solely to serve reads, and
+  // the preceding shard persists those days itself. After this the store
+  // remnant is exactly the whole-run store restricted to [day_lo, day_hi).
+  result.store.retire_days_below(bounds.day_lo);
+
+  // ---- Shard store: save_run's exact meta/block layout plus a shard
+  // manifest and the src_event column (both stripped by the merger).
+  const auto [feed_lo, feed_hi] = shard_feed_slice(result.feed_records, spec);
+  {
+    obs::ScopedSpan span(tracer, "store.write");
+    store::Writer writer(store_path);
+    write_provenance_meta(writer, config, threads);
+    write_result_meta(writer, result.workload.schedule.size(),
+                      feed_hi - feed_lo, result.events.size(),
+                      result.joined.size(), result.swept_measurements, stats);
+    writer.add_meta("shard.index", std::to_string(spec.index));
+    writer.add_meta("shard.count", std::to_string(spec.count));
+    writer.add_meta("shard.owned_events", std::to_string(owned.size()));
+
+    const std::vector<telescope::RSDoSRecord> slice(
+        result.feed.records().begin() +
+            static_cast<std::ptrdiff_t>(feed_lo),
+        result.feed.records().begin() + static_cast<std::ptrdiff_t>(feed_hi));
+    store::write_feed_records(writer, slice);
+    store::write_measurements(writer, result.store);
+    store::write_joined_events(writer, result.joined);
+    writer.add_u64("shard", "src_event", src_event,
+                   store::Encoding::DeltaVarint);
+
+    writer.finish();
+    result.store_bytes = writer.bytes_written();
+    span.set_items(writer.column_count());
+    if (observer) {
+      observer->pipeline.store_bytes_written.set(
+          static_cast<double>(result.store_bytes));
+    }
+  }
+
+  ShardRunResult out;
+  out.spec = spec;
+  out.day_lo = bounds.day_lo;
+  out.day_hi = bounds.day_hi;
+  out.events_total = result.events.size();
+  out.owned_events = owned.size();
+  out.feed_rows = feed_hi - feed_lo;
+  out.joined_rows = result.joined.size();
+  out.swept_measurements = result.swept_measurements;
+  out.store_bytes = result.store_bytes;
+  return out;
 }
 
 // ---- streaming day-epoch pipeline.

@@ -23,6 +23,7 @@
 #include "core/resilience.h"
 #include "openintel/storage.h"
 #include "openintel/sweeper.h"
+#include "scenario/plan.h"
 #include "scenario/workload.h"
 #include "scenario/world.h"
 #include "telescope/feed.h"
@@ -75,6 +76,40 @@ struct LongitudinalResult : RunArtifacts {
 };
 
 LongitudinalResult run_longitudinal(const LongitudinalConfig& config);
+
+// ---- sharded generation (`generate --shard i/N`, plan/execute/compact).
+//
+// run_shard executes one shard of plan.h's N-way day partition and writes
+// an independent DRS shard store: the same meta/block layout as save_run
+// restricted to the shard's owned day range and events, plus a shard
+// manifest (shard.index/shard.count footer meta) and a "shard.src_event"
+// column recording each joined row's canonical telescope-event index.
+// store::merge_stores k-way merges the N shard files into one store
+// byte-identical to a single-process `generate --store` of the same
+// config — for any N and any thread count.
+
+/// What one shard produced — the CLI summary line and the accounting the
+/// shard tests check (per-shard counts sum to the whole run's).
+struct ShardRunResult {
+  ShardSpec spec;
+  netsim::DayIndex day_lo = 0;  // owned day range [day_lo, day_hi)
+  netsim::DayIndex day_hi = 0;
+  std::uint64_t events_total = 0;  // world-wide stitched telescope events
+  std::uint64_t owned_events = 0;  // telescope events this shard joined
+  std::uint64_t feed_rows = 0;     // feed slice persisted by this shard
+  std::uint64_t joined_rows = 0;   // pre-merge NSSet-events persisted
+  std::uint64_t swept_measurements = 0;  // owned-day measurements only
+  std::uint64_t store_bytes = 0;
+};
+
+/// Execute shard `spec` against `config`'s world and write its DRS shard
+/// store to `store_path`. `threads` is recorded as run.threads provenance
+/// (merge requires it to match across shards — the merged file reproduces
+/// a single-process run at that --threads). Throws store::StoreError on
+/// write failure, std::invalid_argument on a bad spec.
+ShardRunResult run_shard(const LongitudinalConfig& config,
+                         const ShardSpec& spec, unsigned threads,
+                         const std::string& store_path);
 
 // ---- streaming day-epoch pipeline.
 //

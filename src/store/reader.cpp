@@ -218,13 +218,31 @@ void Reader::check_crc(const ColumnDesc& desc) const {
   }
 }
 
+namespace {
+
+// Decode failures from format.cpp carry no file context; re-throw with
+// the path and column so a multi-shard merge failure names the corrupt
+// shard, not just the block shape.
+[[noreturn]] void rethrow_decode_error(const std::string& path,
+                                       const ColumnDesc& c,
+                                       const StoreError& e) {
+  throw StoreError(path + ": column '" + c.dataset + "." + c.column +
+                   "': " + e.what());
+}
+
+}  // namespace
+
 std::vector<std::uint64_t> Reader::read_u64(std::string_view dataset,
                                             std::string_view col) const {
   const ColumnDesc& c = column(dataset, col);
   if (c.type != ColumnType::U64)
     fail(path_, "column '" + c.dataset + "." + c.column + "' is not u64");
   check_crc(c);
-  return decode_u64_column(payload(c), c.encoding, c.rows);
+  try {
+    return decode_u64_column(payload(c), c.encoding, c.rows);
+  } catch (const StoreError& e) {
+    rethrow_decode_error(path_, c, e);
+  }
 }
 
 std::vector<double> Reader::read_f64(std::string_view dataset,
@@ -233,7 +251,11 @@ std::vector<double> Reader::read_f64(std::string_view dataset,
   if (c.type != ColumnType::F64)
     fail(path_, "column '" + c.dataset + "." + c.column + "' is not f64");
   check_crc(c);
-  return decode_f64_column(payload(c), c.rows);
+  try {
+    return decode_f64_column(payload(c), c.rows);
+  } catch (const StoreError& e) {
+    rethrow_decode_error(path_, c, e);
+  }
 }
 
 std::vector<std::uint8_t> Reader::read_u8(std::string_view dataset,
@@ -242,7 +264,11 @@ std::vector<std::uint8_t> Reader::read_u8(std::string_view dataset,
   if (c.type != ColumnType::U8)
     fail(path_, "column '" + c.dataset + "." + c.column + "' is not u8");
   check_crc(c);
-  return decode_u8_column(payload(c), c.rows);
+  try {
+    return decode_u8_column(payload(c), c.rows);
+  } catch (const StoreError& e) {
+    rethrow_decode_error(path_, c, e);
+  }
 }
 
 std::vector<std::string> Reader::read_strings(std::string_view dataset,
@@ -251,7 +277,11 @@ std::vector<std::string> Reader::read_strings(std::string_view dataset,
   if (c.type != ColumnType::Str)
     fail(path_, "column '" + c.dataset + "." + c.column + "' is not str");
   check_crc(c);
-  return decode_string_column(payload(c), c.rows);
+  try {
+    return decode_string_column(payload(c), c.rows);
+  } catch (const StoreError& e) {
+    rethrow_decode_error(path_, c, e);
+  }
 }
 
 void Reader::parallel_decode(const std::vector<std::function<void()>>& jobs) {

@@ -20,10 +20,15 @@ struct CommandInfo {
   std::string_view summary;  // one usage-header line, no trailing period
 };
 
-inline constexpr std::array<CommandInfo, 7> kCommands{{
+inline constexpr std::array<CommandInfo, 8> kCommands{{
     {"world", "build the simulated DNS world; export zones, run the audit"},
     {"run", "execute the seventeen-month pipeline, print headline shapes"},
-    {"generate", "run + persist the datasets to a DRS store (--store)"},
+    {"generate",
+     "run + persist the datasets to a DRS store (--store); --shard i/N "
+     "writes one shard of an N-way partition"},
+    {"merge",
+     "k-way merge generate --shard stores into one DRS store, "
+     "byte-identical to a whole-world generate"},
     {"analyze", "recompute statistics from --store or --events-csv"},
     {"serve",
      "load a DRS store, drive the query engine: in-process, over TCP "

@@ -8,6 +8,8 @@
 //                      [--events-csv <file>] [--feed-csv <file>]
 //                      [--metrics-out <file>] [--trace-out <file>] [--progress]
 //   ddosrepro generate --store <file.drs> [run flags]
+//   ddosrepro generate --shard i/N --store <shard.drs> [run flags]
+//   ddosrepro merge    <out.drs> <shard.drs> [shard.drs ...]
 //   ddosrepro analyze  --store <file.drs> [--rejoin] [--threads N]
 //   ddosrepro analyze  --events-csv <file>
 //   ddosrepro serve    --store <file.drs> [--threads N] [--duration-s S]
@@ -26,6 +28,12 @@
 // statistics without re-simulating (--rejoin additionally re-runs the join
 // stage from the stored aggregates and asserts a bit-for-bit match).
 // `analyze --events-csv` replays the lossy CSV export instead.
+//
+// Sharded generation: `generate --shard i/N` executes one shard of a
+// deterministic N-way day partition of the same world and writes an
+// independent shard store; `merge` k-way merges the N shard files into
+// one store byte-identical (`cmp`) to a single-process `generate
+// --store` of the same config — see scenario/plan.h and store/merge.h.
 //
 // --streaming switches run/generate to the bounded-memory day-epoch
 // pipeline (channel-connected stages; folded state retires once the
@@ -90,6 +98,7 @@
 #include "serve/query_engine.h"
 #include "serve/workload.h"
 #include "store/format.h"
+#include "store/merge.h"
 #include "util/flags.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -437,12 +446,111 @@ int cmd_run(util::FlagParser& flags) {
   return 0;
 }
 
+// `generate --shard i/N`: execute one shard of the deterministic N-way
+// day partition (scenario/plan.h) and write an independent shard store.
+// Kept apart from cmd_run — the shard path is always materialized (the
+// shard store layout needs the full pre-merge join vector) and prints a
+// shard accounting line instead of the whole-run analyses.
+int cmd_generate_shard(util::FlagParser& flags,
+                       const scenario::ShardSpec& shard) {
+  if (flags.get_bool("streaming")) {
+    std::cerr << "--shard uses the materialized driver; drop --streaming "
+                 "(the merged store is byte-identical either way)\n";
+    return 2;
+  }
+  scenario::LongitudinalConfig cfg = scenario::default_longitudinal_config();
+  cfg.world.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  cfg.world.domain_count =
+      static_cast<std::uint32_t>(flags.get_int("domains"));
+  cfg.world.provider_count =
+      static_cast<std::uint32_t>(flags.get_int("providers"));
+  cfg.workload.scale = flags.get_double("scale");
+
+  const unsigned threads = static_cast<unsigned>(flags.get_uint("threads"));
+  exec::set_global_threads(threads);
+
+  std::optional<obs::Observer> observer;
+  std::optional<obs::ScopedInstall> install;
+  if (flags.get_bool("progress")) {
+    observer.emplace();
+    observer->set_progress(print_progress);
+    install.emplace(*observer);
+  }
+
+  const std::string store_path = flags.get_string("store");
+  try {
+    const scenario::ShardRunResult r =
+        scenario::run_shard(cfg, shard, threads, store_path);
+    std::cout << "shard " << shard.index << "/" << shard.count << ": "
+              << r.owned_events << "/" << r.events_total
+              << " telescope events owned, " << r.joined_rows
+              << " joined rows, " << util::with_commas(r.feed_rows)
+              << " feed rows, " << util::with_commas(r.swept_measurements)
+              << " measurements swept\n";
+    std::cout << "wrote shard store ("
+              << util::format_count(static_cast<double>(r.store_bytes))
+              << "B) to " << store_path
+              << " — combine the " << shard.count
+              << " shards with 'ddosrepro merge'\n";
+  } catch (const store::StoreError& e) {
+    std::cerr << "store error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_generate(util::FlagParser& flags) {
   if (flags.get_string("store").empty()) {
     std::cerr << "generate requires --store <file.drs>\n";
     return 1;
   }
+  const std::string shard_spec = flags.get_string("shard");
+  if (!shard_spec.empty()) {
+    std::string shard_error;
+    const auto shard = scenario::parse_shard(shard_spec, &shard_error);
+    if (!shard) {
+      std::cerr << "flag --" << shard_error << "\n";
+      return 2;
+    }
+    return cmd_generate_shard(flags, *shard);
+  }
   return cmd_run(flags);
+}
+
+int cmd_merge(util::FlagParser& flags) {
+  const auto& args = flags.positional();
+  if (args.size() < 3) {
+    std::cerr << "merge requires an output path and at least one shard "
+                 "store:\n  ddosrepro merge <out.drs> <shard.drs> "
+                 "[shard.drs ...]\n";
+    return 2;
+  }
+  const std::string& out_path = args[1];
+  const std::vector<std::string> shard_paths(args.begin() + 2, args.end());
+  try {
+    const auto merge_start = std::chrono::steady_clock::now();
+    const store::MergeStats stats = store::merge_stores(out_path, shard_paths);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      merge_start)
+            .count();
+    std::cout << "merged " << stats.shards << " shard stores -> " << out_path
+              << " ("
+              << util::format_count(static_cast<double>(stats.bytes_written))
+              << "B): " << util::with_commas(stats.rows_merged)
+              << " column values, " << stats.events_out << " joined events";
+    if (secs > 0.0) {
+      std::cout << " in " << util::format_fixed(secs, 2) << "s ("
+                << util::format_count(
+                       static_cast<double>(stats.bytes_written) / secs)
+                << "B/s)";
+    }
+    std::cout << "\n";
+  } catch (const store::StoreError& e) {
+    std::cerr << "store error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
 }
 
 int cmd_analyze_store(util::FlagParser& flags, const std::string& path) {
@@ -1052,6 +1160,7 @@ constexpr std::array<CommandHandler, cli::kCommands.size()> kHandlers{{
     {"world", cmd_world},
     {"run", cmd_run},
     {"generate", cmd_generate},
+    {"merge", cmd_merge},
     {"analyze", cmd_analyze},
     {"serve", cmd_serve},
     {"transip", cmd_transip},
@@ -1099,6 +1208,11 @@ int main(int argc, char** argv) {
   flags.add_string("store", "",
                    "DRS dataset store path (generate/run: write; analyze: "
                    "read)");
+  flags.add_string("shard", "",
+                   "i/N: write only shard i of a deterministic N-way day "
+                   "partition of the world to --store; merge the N shard "
+                   "files with 'ddosrepro merge' for a store byte-identical "
+                   "to a whole-world generate (generate)");
   flags.add_bool("rejoin",
                  "re-run the join from the stored aggregates and assert a "
                  "bit-for-bit match (analyze --store)");
